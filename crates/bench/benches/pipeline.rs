@@ -1,0 +1,56 @@
+//! Criterion benches for the prediction pipeline: trace detection,
+//! feature extraction, NN inference (the Figure 11 "inference" stage),
+//! and scenario regeneration (the "scenario-regen" stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prete_core::prelude::*;
+use prete_nn::{Mlp, Predictor, TrainConfig};
+use prete_optical::trace::{detect, synthesize, ScriptedDegradation, TraceConfig};
+use prete_optical::{DatasetConfig, FailureModel};
+use prete_topology::{topologies, FiberId};
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let deg = ScriptedDegradation { start_s: 65, duration_s: 45, degree_db: 6.0, wobble_db: 0.2 };
+    let trace = synthesize(FiberId(0), 0, 900, &[deg], Some(110), TraceConfig::default(), 1);
+    c.bench_function("pipeline/detect_900s_trace", |b| {
+        b.iter(|| black_box(detect(&trace)))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let net = topologies::b4();
+    let model = FailureModel::new(&net, 42);
+    let ds = Dataset::generate(&net, &model, DatasetConfig { epochs: 6000, seed: 1 });
+    let (train, test) = ds.train_test_split(0.8);
+    let nn = Mlp::train(&train, TrainConfig { epochs: 20, seed: 2, ..Default::default() });
+    let event = test[0].clone();
+    c.bench_function("pipeline/nn_inference", |b| {
+        b.iter(|| black_box(nn.predict_proba(&event)))
+    });
+}
+
+fn bench_scenario_regen(c: &mut Criterion) {
+    let net = topologies::ibm();
+    let model = FailureModel::new(&net, 42);
+    let probs: Vec<f64> = model.profiles().iter().map(|p| p.p_cut).collect();
+    c.bench_function("pipeline/scenario_regen_ibm", |b| {
+        b.iter(|| black_box(ScenarioSet::enumerate(&probs, 1, 0.0)))
+    });
+}
+
+fn bench_tunnel_update(c: &mut Criterion) {
+    use prete_core::algorithm1::{update_tunnels, TunnelUpdateConfig};
+    let net = topologies::b4();
+    let flows = topologies::flows_for(&net, 0.08, 42);
+    let tunnels = TunnelSet::initialize(&net, &flows, 4);
+    c.bench_function("pipeline/algorithm1_b4", |b| {
+        b.iter(|| {
+            let mut ts = tunnels.clone();
+            black_box(update_tunnels(&net, &mut ts, FiberId(0), TunnelUpdateConfig::default()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_detection, bench_inference, bench_scenario_regen, bench_tunnel_update);
+criterion_main!(benches);

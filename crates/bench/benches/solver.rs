@@ -1,0 +1,60 @@
+//! Criterion benches for the LP/MIP substrate: the inner loop of every
+//! TE computation (Figure 16(b)'s "TE runtime" is dominated by these
+//! solves plus tunnel establishment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prete_lp::{solve, solve_mip, LinearProgram, MipOptions, Sense};
+use std::hint::black_box;
+
+/// A random-ish dense LP of the given size (deterministic).
+fn make_lp(vars: usize, rows: usize) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let vs: Vec<_> = (0..vars)
+        .map(|i| lp.add_var(0.0, f64::INFINITY, -((i % 7) as f64 + 1.0)))
+        .collect();
+    for r in 0..rows {
+        let terms: Vec<_> = vs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (j + r) % 3 != 0)
+            .map(|(j, &v)| (v, 1.0 + ((j * r) % 5) as f64))
+            .collect();
+        lp.add_constraint(terms, Sense::Le, 50.0 + (r % 11) as f64 * 10.0);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    for (vars, rows) in [(20, 15), (60, 45), (150, 100)] {
+        let lp = make_lp(vars, rows);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v_{rows}r")),
+            &lp,
+            |b, lp| b.iter(|| black_box(solve(lp))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mip(c: &mut Criterion) {
+    // Scenario-selection-shaped binary program (the Benders master).
+    let mut lp = LinearProgram::new();
+    let probs = [0.9, 0.04, 0.03, 0.02, 0.01];
+    let d: Vec<_> = probs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| lp.add_var(0.0, 1.0, (i as f64) * 0.7))
+        .collect();
+    lp.add_constraint(
+        d.iter().zip(probs).map(|(&v, p)| (v, p)).collect(),
+        Sense::Ge,
+        0.96,
+    );
+    c.bench_function("mip/scenario_selection", |b| {
+        b.iter(|| black_box(solve_mip(&lp, &d, MipOptions::default())))
+    });
+}
+
+criterion_group!(benches, bench_simplex, bench_mip);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for full TE plans: each scheme's planning time on
+//! B4 (the Figure 16(b) "TE runtime" without tunnel establishment) and
+//! the availability evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+use prete_core::eval::{AvailabilityEvaluator, EvalConfig};
+use prete_core::prelude::*;
+use prete_core::scenario::DegradationState;
+use prete_core::schemes::{FfcScheme, PreTeScheme, TeContext, TeScheme, TeaVarScheme};
+use prete_optical::FailureModel;
+use prete_topology::{topologies, FiberId};
+use std::hint::black_box;
+
+struct Fixture {
+    net: Network,
+    model: FailureModel,
+    truth: TrueConditionals,
+    flows: Vec<Flow>,
+    tunnels: TunnelSet,
+}
+
+fn fixture() -> Fixture {
+    let net = topologies::b4();
+    let model = FailureModel::new(&net, 42);
+    let truth = TrueConditionals::ground_truth(&net, &model, 100, 1);
+    let flows = topologies::flows_for(&net, 0.08, 42);
+    let tunnels = TunnelSet::initialize(&net, &flows, 4);
+    Fixture { net, model, truth, flows, tunnels }
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let fx = fixture();
+    let ctx = TeContext {
+        net: &fx.net,
+        model: &fx.model,
+        flows: &fx.flows,
+        base_tunnels: &fx.tunnels,
+    };
+    let mut g = c.benchmark_group("plan_b4");
+    g.sample_size(10);
+    let teavar = TeaVarScheme::new(&fx.model, 0.999);
+    g.bench_function("teavar", |b| {
+        b.iter(|| black_box(teavar.plan(&ctx, &DegradationState::healthy(), None)))
+    });
+    let ffc = FfcScheme::one();
+    g.bench_function("ffc1", |b| {
+        b.iter(|| black_box(ffc.plan(&ctx, &DegradationState::healthy(), None)))
+    });
+    let prete = PreTeScheme::new(0.999, ProbabilityEstimator::prete(&fx.model, &fx.truth));
+    g.bench_function("prete_healthy", |b| {
+        b.iter(|| black_box(prete.plan(&ctx, &DegradationState::healthy(), None)))
+    });
+    g.bench_function("prete_degraded", |b| {
+        b.iter(|| {
+            black_box(prete.plan(&ctx, &DegradationState::single(FiberId(0)), None))
+        })
+    });
+    g.finish();
+}
+
+fn bench_availability_eval(c: &mut Criterion) {
+    let fx = fixture();
+    let cfg = EvalConfig { top_k_degraded: 3, ..Default::default() };
+    let ev = AvailabilityEvaluator::new(
+        &fx.net,
+        &fx.model,
+        fx.flows.clone(),
+        &fx.tunnels,
+        &fx.truth,
+        cfg,
+    );
+    let teavar = TeaVarScheme::new(&fx.model, 0.999);
+    let mut g = c.benchmark_group("availability_b4");
+    g.sample_size(10);
+    g.bench_function("teavar_top3", |b| b.iter(|| black_box(ev.evaluate(&teavar))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans, bench_availability_eval);
+criterion_main!(benches);

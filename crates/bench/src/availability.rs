@@ -1,0 +1,329 @@
+//! Availability sweeps: Figure 13, Table 4, Figure 15, Figure 16(a),
+//! Figure 20(b).
+
+use crate::{Scope, SEED};
+use prete_core::algorithm1::TunnelUpdateConfig;
+use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+use prete_core::eval::{AvailabilityEvaluator, EvalConfig};
+use prete_core::gain::max_supported_scale;
+use prete_core::prelude::*;
+use prete_core::schemes::{
+    ArrowScheme, EcmpScheme, FfcScheme, FlexileScheme, PreTeScheme, TeScheme, TeaVarScheme,
+};
+use prete_optical::FailureModel;
+use prete_topology::topologies;
+use serde::Serialize;
+
+/// Baseline network load at demand scale 1 (fraction of total IP
+/// capacity). Calibrated so the Figure 13 availability region of
+/// interest (≥ 99 %) spans demand scales ≈ 1–8.
+pub const BASE_LOAD: f64 = 0.05;
+
+/// Planning availability target used by the probabilistic schemes.
+pub const PLAN_BETA: f64 = 0.999;
+
+/// One evaluation environment (topology + model + traffic + truth).
+pub struct Env {
+    /// Network.
+    pub net: Network,
+    /// Failure model.
+    pub model: FailureModel,
+    /// Ground-truth conditionals.
+    pub truth: TrueConditionals,
+    /// Scale-1 flows.
+    pub flows: Vec<Flow>,
+    /// Pre-established tunnels.
+    pub tunnels: TunnelSet,
+}
+
+impl Env {
+    /// Builds the environment for a topology.
+    pub fn new(net: Network) -> Env {
+        let model = FailureModel::new(&net, SEED);
+        let truth = TrueConditionals::ground_truth(&net, &model, 200, SEED);
+        let flows = topologies::flows_for(&net, BASE_LOAD, SEED);
+        let tunnels = TunnelSet::initialize(&net, &flows, 4);
+        Env { net, model, truth, flows, tunnels }
+    }
+
+    /// Availability of `scheme` at a demand scale.
+    pub fn availability(&self, scheme: &dyn TeScheme, scale: f64, cfg: EvalConfig) -> f64 {
+        let flows: Vec<Flow> = self
+            .flows
+            .iter()
+            .map(|f| Flow { demand_gbps: f.demand_gbps * scale, ..*f })
+            .collect();
+        let ev = AvailabilityEvaluator::new(&self.net, &self.model, flows, &self.tunnels, &self.truth, cfg);
+        ev.evaluate(scheme).mean
+    }
+}
+
+/// The §6.1 benchmark scheme set.
+pub fn benchmark_schemes(env: &Env) -> Vec<Box<dyn TeScheme + '_>> {
+    vec![
+        Box::new(EcmpScheme),
+        Box::new(FfcScheme::one()),
+        Box::new(FfcScheme::two()),
+        Box::new(TeaVarScheme::new(&env.model, PLAN_BETA)),
+        Box::new(ArrowScheme::new(&env.model, PLAN_BETA)),
+        Box::new(FlexileScheme::new(&env.model, PLAN_BETA)),
+        Box::new(PreTeScheme::new(
+            PLAN_BETA,
+            ProbabilityEstimator::prete(&env.model, &env.truth),
+        )),
+    ]
+}
+
+/// One scheme's availability-vs-scale curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeCurve {
+    /// Scheme label.
+    pub scheme: String,
+    /// (demand scale, mean availability) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn eval_cfg(scope: Scope) -> EvalConfig {
+    EvalConfig {
+        top_k_degraded: if scope == Scope::Full { 10 } else { 5 },
+        ..Default::default()
+    }
+}
+
+/// Figure 13: availability vs demand scale for every scheme, per
+/// topology.
+pub fn fig13(scope: Scope) -> Vec<(String, Vec<SchemeCurve>)> {
+    let nets: Vec<Network> = match scope {
+        Scope::Quick => vec![topologies::b4()],
+        Scope::Full => vec![topologies::b4(), topologies::ibm(), topologies::twan()],
+    };
+    let scales: Vec<f64> = match scope {
+        Scope::Quick => vec![1.0, 2.0, 3.0, 4.5, 6.0],
+        Scope::Full => vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 7.0],
+    };
+    let cfg = eval_cfg(scope);
+    nets.into_iter()
+        .map(|net| {
+            let env = Env::new(net);
+            let curves = benchmark_schemes(&env)
+                .iter()
+                .map(|scheme| SchemeCurve {
+                    scheme: scheme.name(),
+                    points: scales
+                        .iter()
+                        .map(|&s| (s, env.availability(scheme.as_ref(), s, cfg)))
+                        .collect(),
+                })
+                .collect();
+            (env.net.name.clone(), curves)
+        })
+        .collect()
+}
+
+/// One Table 4 row: PreTE's satisfied-demand gain at one availability
+/// level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Availability target.
+    pub availability: f64,
+    /// Max scale per scheme (`None` = target unreachable even at the
+    /// bracket's low end — the paper's "NA").
+    pub max_scale: Vec<(String, Option<f64>)>,
+    /// PreTE's gain over each scheme (`None` = NA).
+    pub gain: Vec<(String, Option<f64>)>,
+}
+
+/// Table 4: satisfied-demand gains at 99 / 99.5 / 99.9 / 99.95 %.
+pub fn table4(scope: Scope) -> Vec<Table4Row> {
+    let net = if scope == Scope::Full { topologies::ibm() } else { topologies::b4() };
+    let env = Env::new(net);
+    let cfg = eval_cfg(scope);
+    let iters = if scope == Scope::Full { 6 } else { 4 };
+    let levels = match scope {
+        Scope::Quick => vec![0.99, 0.999],
+        Scope::Full => vec![0.9995, 0.999, 0.995, 0.99],
+    };
+    let schemes = benchmark_schemes(&env);
+    levels
+        .into_iter()
+        .map(|level| {
+            let max_scale: Vec<(String, Option<f64>)> = schemes
+                .iter()
+                .map(|s| {
+                    let m = max_supported_scale(
+                        |scale| env.availability(s.as_ref(), scale, cfg),
+                        level,
+                        0.25,
+                        8.0,
+                        iters,
+                    );
+                    (s.name(), m)
+                })
+                .collect();
+            let prete = max_scale
+                .iter()
+                .find(|(n, _)| n == "PreTE")
+                .and_then(|(_, m)| *m);
+            let gain = max_scale
+                .iter()
+                .filter(|(n, _)| n != "PreTE")
+                .map(|(n, m)| {
+                    (n.clone(), match (prete, m) {
+                        (Some(p), Some(m)) if *m > 0.0 => Some(p / m),
+                        _ => None,
+                    })
+                })
+                .collect();
+            Table4Row { availability: level, max_scale, gain }
+        })
+        .collect()
+}
+
+/// Figure 15: availability at high levels for PreTE under different
+/// prediction approaches (TeaVar-static, Statistic, NN-grade truth,
+/// Oracle).
+pub fn fig15(scope: Scope) -> Vec<SchemeCurve> {
+    let env = Env::new(if scope == Scope::Full { topologies::ibm() } else { topologies::b4() });
+    let scales: Vec<f64> = match scope {
+        Scope::Quick => vec![1.0, 2.0, 3.0, 4.0],
+        Scope::Full => vec![1.0, 1.7, 2.3, 3.0, 3.3, 3.7, 4.5],
+    };
+    let cfg = eval_cfg(scope);
+    let statistic_truth = TrueConditionals {
+        per_fiber: vec![
+            prete_optical::MEAN_CUT_GIVEN_DEGRADATION;
+            env.net.num_fibers()
+        ],
+    };
+    let mut curves = Vec::new();
+    // TeaVar prediction (no degradation signal).
+    let teavar_pred = PreTeScheme {
+        label: "TeaVar-prediction".into(),
+        ..PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::static_model(&env.model))
+    };
+    // Statistic prediction (flat 40 %).
+    let statistic_pred = PreTeScheme {
+        label: "Statistic".into(),
+        ..PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &statistic_truth))
+    };
+    // NN-grade prediction: the ground-truth conditionals stand in for a
+    // well-trained model (Table 5 shows the NN tracks them closely).
+    let nn_pred = PreTeScheme {
+        label: "PreTE (NN)".into(),
+        ..PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &env.truth))
+    };
+    for scheme in [&teavar_pred, &statistic_pred, &nn_pred] {
+        curves.push(SchemeCurve {
+            scheme: scheme.name(),
+            points: scales.iter().map(|&s| (s, env.availability(scheme, s, cfg))).collect(),
+        });
+    }
+    // Oracle: exact outcome knowledge via the evaluator's branch split.
+    let oracle_cfg = EvalConfig { oracle_outcome_split: true, ..cfg };
+    curves.push(SchemeCurve {
+        scheme: "Oracle".into(),
+        points: scales
+            .iter()
+            .map(|&s| (s, env.availability(&nn_pred, s, oracle_cfg)))
+            .collect(),
+    });
+    curves
+}
+
+/// Figure 16(a): availability vs the new-tunnel ratio (0 = PreTE-naive).
+pub fn fig16a(scope: Scope) -> Vec<(f64, f64)> {
+    let env = Env::new(topologies::b4());
+    let cfg = eval_cfg(scope);
+    let scale = 3.0;
+    let ratios: Vec<f64> = match scope {
+        Scope::Quick => vec![0.0, 1.0, 2.0],
+        Scope::Full => vec![0.0, 0.5, 1.0, 2.0, 3.0, 5.0],
+    };
+    ratios
+        .into_iter()
+        .map(|ratio| {
+            let scheme = PreTeScheme {
+                tunnel_update: TunnelUpdateConfig { ratio, max_new_per_flow: 24 },
+                label: if ratio == 0.0 { "PreTE-naive".into() } else { format!("PreTE r={ratio}") },
+                ..PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &env.truth))
+            };
+            (ratio, env.availability(&scheme, scale, cfg))
+        })
+        .collect()
+}
+
+/// Figure 20(b): availability vs demand scale for different predictable
+/// fractions `α` (a *world* property: more predictable cuts → lower
+/// off-signal probability and more degradation lead time).
+pub fn fig20b(scope: Scope) -> Vec<(f64, Vec<(f64, f64)>)> {
+    let net = topologies::b4();
+    let scales: Vec<f64> = match scope {
+        Scope::Quick => vec![1.0, 3.0, 5.0],
+        Scope::Full => vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    };
+    let alphas = match scope {
+        Scope::Quick => vec![0.0, 0.25, 1.0],
+        Scope::Full => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let cfg = eval_cfg(scope);
+    alphas
+        .into_iter()
+        .map(|alpha| {
+            let model = FailureModel::new(&net, SEED).rescaled_for_alpha(alpha);
+            let truth = TrueConditionals::ground_truth(&net, &model, 200, SEED);
+            let flows = topologies::flows_for(&net, BASE_LOAD, SEED);
+            let tunnels = TunnelSet::initialize(&net, &flows, 4);
+            let scheme = PreTeScheme::new(
+                PLAN_BETA,
+                ProbabilityEstimator::dynamic(&model, &truth, alpha),
+            );
+            let cfg = EvalConfig { alpha, ..cfg };
+            let points = scales
+                .iter()
+                .map(|&s| {
+                    let scaled: Vec<Flow> = flows
+                        .iter()
+                        .map(|f| Flow { demand_gbps: f.demand_gbps * s, ..*f })
+                        .collect();
+                    let ev = AvailabilityEvaluator::new(&net, &model, scaled, &tunnels, &truth, cfg);
+                    (s, ev.evaluate(&scheme).mean)
+                })
+                .collect();
+            (alpha, points)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prete_beats_teavar_on_b4_quick() {
+        // The headline Figure 13 ordering at a mid demand scale.
+        let env = Env::new(topologies::b4());
+        let cfg = eval_cfg(Scope::Quick);
+        let teavar = TeaVarScheme::new(&env.model, PLAN_BETA);
+        let prete =
+            PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &env.truth));
+        let scale = 3.0;
+        let a_tv = env.availability(&teavar, scale, cfg);
+        let a_pt = env.availability(&prete, scale, cfg);
+        assert!(
+            a_pt >= a_tv,
+            "PreTE {a_pt} < TeaVaR {a_tv} at scale {scale}"
+        );
+    }
+
+    #[test]
+    fn availability_decreases_with_scale() {
+        let env = Env::new(topologies::b4());
+        let cfg = eval_cfg(Scope::Quick);
+        let prete =
+            PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &env.truth));
+        let a1 = env.availability(&prete, 1.0, cfg);
+        let a6 = env.availability(&prete, 8.0, cfg);
+        assert!(a1 >= a6, "a(1) = {a1} < a(8) = {a6}");
+        assert!(a1 > 0.999, "a(1) = {a1}");
+    }
+}

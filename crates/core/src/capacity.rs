@@ -1,0 +1,139 @@
+//! Logical IP trunks: capacity aggregation over parallel links.
+//!
+//! The Table 3 topologies place several parallel wavelength links on
+//! each fiber (that is how 19 fibers carry 52 IP links on B4). Parallel
+//! links between the same site pair riding the same fiber set share
+//! fate *and* act as one trunk from TE's perspective: a tunnel routed
+//! over the adjacency may use any of them. To avoid the path-finder
+//! pinning tunnels to one member link and stranding the rest of the
+//! trunk, the TE capacity constraints (Eqn 3) are expressed per *trunk
+//! group* — the set of links with identical endpoints and fiber set —
+//! with the group's aggregate capacity on the right-hand side.
+
+use prete_topology::{FiberId, LinkId, Network, SiteId};
+
+/// Partition of IP links into trunk groups.
+#[derive(Debug, Clone)]
+pub struct CapacityGroups {
+    /// group index per link.
+    group_of: Vec<usize>,
+    /// aggregate capacity per group (Gbps).
+    capacity: Vec<f64>,
+    /// representative (lowest-id) link per group.
+    representative: Vec<LinkId>,
+}
+
+impl CapacityGroups {
+    /// Builds the trunk partition for a network.
+    pub fn build(net: &Network) -> CapacityGroups {
+        // Key: (min endpoint, max endpoint, sorted fiber ids).
+        let mut keys: Vec<(SiteId, SiteId, Vec<FiberId>)> = Vec::new();
+        let mut group_of = vec![usize::MAX; net.num_links()];
+        let mut capacity: Vec<f64> = Vec::new();
+        let mut representative: Vec<LinkId> = Vec::new();
+        for link in net.links() {
+            let (a, b) = if link.a <= link.b { (link.a, link.b) } else { (link.b, link.a) };
+            let mut fibers = link.fibers.clone();
+            fibers.sort();
+            let key = (a, b, fibers);
+            let gid = match keys.iter().position(|k| *k == key) {
+                Some(g) => g,
+                None => {
+                    keys.push(key);
+                    capacity.push(0.0);
+                    representative.push(link.id);
+                    keys.len() - 1
+                }
+            };
+            group_of[link.id.index()] = gid;
+            capacity[gid] += link.capacity_gbps;
+        }
+        CapacityGroups { group_of, capacity, representative }
+    }
+
+    /// Number of trunk groups.
+    pub fn len(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Whether there are no groups (never for a valid network).
+    pub fn is_empty(&self) -> bool {
+        self.capacity.is_empty()
+    }
+
+    /// Group index of a link.
+    pub fn group_of(&self, l: LinkId) -> usize {
+        self.group_of[l.index()]
+    }
+
+    /// Aggregate capacity (Gbps) of a group.
+    pub fn capacity(&self, group: usize) -> f64 {
+        self.capacity[group]
+    }
+
+    /// Representative link of a group (useful for diagnostics).
+    pub fn representative(&self, group: usize) -> LinkId {
+        self.representative[group]
+    }
+
+    /// Sums a tunnel path's load contribution per group: returns the
+    /// distinct groups a link sequence crosses (a simple path crosses
+    /// each at most once).
+    pub fn groups_of_path(&self, links: &[LinkId]) -> Vec<usize> {
+        let mut gs: Vec<usize> = links.iter().map(|&l| self.group_of(l)).collect();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prete_topology::{topologies, NetworkBuilder};
+
+    #[test]
+    fn b4_groups_equal_fibers() {
+        // On B4 every fiber hosts one trunk of 2–3 parallel links.
+        let net = topologies::b4();
+        let g = CapacityGroups::build(&net);
+        assert_eq!(g.len(), net.num_fibers());
+        let total: f64 = (0..g.len()).map(|i| g.capacity(i)).sum();
+        assert!((total - net.total_capacity()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn twan_express_links_get_own_group() {
+        // TWAN express links ride two fibers: distinct fiber set →
+        // distinct group even between the same site pair.
+        let net = topologies::twan();
+        let g = CapacityGroups::build(&net);
+        assert!(g.len() > net.num_fibers(), "{} groups", g.len());
+    }
+
+    #[test]
+    fn parallel_links_aggregate() {
+        let mut b = NetworkBuilder::new("p");
+        let s0 = b.site("s0", 0);
+        let s1 = b.site("s1", 0);
+        let f = b.fiber(s0, s1, 10.0, 0);
+        let l1 = b.link_on(f, 100.0);
+        let l2 = b.link_on(f, 150.0);
+        let net = b.build();
+        let g = CapacityGroups::build(&net);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.group_of(l1), g.group_of(l2));
+        assert_eq!(g.capacity(0), 250.0);
+        assert_eq!(g.representative(0), l1);
+    }
+
+    #[test]
+    fn path_group_dedup() {
+        let net = topologies::b4();
+        let g = CapacityGroups::build(&net);
+        let links: Vec<_> = vec![net.links()[0].id, net.links()[1].id];
+        // links 0 and 1 are parallel on fiber 0 → same group, deduped.
+        let gs = g.groups_of_path(&links);
+        assert_eq!(gs.len(), 1);
+    }
+}

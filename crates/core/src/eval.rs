@@ -1,0 +1,556 @@
+//! Availability evaluation (Figures 13, 15, 16, 17; Table 4).
+//!
+//! The evaluator replays the probabilistic world against each scheme's
+//! plans and charges outage time per the scheme's reaction model:
+//!
+//! 1. **Degradation states.** The world is in the all-healthy state
+//!    with probability `Π_n (1 − p_d,n)`, or has (approximately) one
+//!    degraded fiber. We evaluate the healthy state exactly plus the
+//!    `top_k` most-likely single-degradation states, scaling their
+//!    contribution up to the full single-degradation mass (documented
+//!    approximation; the tail states have the smallest `p_d` and
+//!    near-identical per-state behaviour).
+//! 2. **True failure probabilities.** Regardless of what a scheme
+//!    *believes*, failures are drawn from the ground truth: a degraded
+//!    fiber cuts with its mean conditional probability (≈ 40 %), others
+//!    with `(1 − α) p_i` (Theorem 4.1). Static schemes therefore
+//!    underestimate failures exactly when it hurts (degradations) and
+//!    overestimate otherwise — the paper's core observation.
+//! 3. **Outage accounting.** Per scenario, the flow's outage fraction
+//!    of the 15-minute epoch depends on the reaction model: persistent
+//!    loss = full epoch; Flexile's centralized recompute = convergence
+//!    time (or full epoch if even the recomputed optimum loses
+//!    traffic); ARROW = 8 s when the plan leans on restoration;
+//!    proactive local rate adaptation = no outage when residual
+//!    capacity suffices.
+//!
+//! The oracle variant of PreTE is evaluated by splitting each degraded
+//! state into will-cut / won't-cut outcomes with ground-truth weights
+//! and handing the scheme the corresponding certainty vector.
+
+use crate::capacity::CapacityGroups;
+use crate::estimator::TrueConditionals;
+use crate::scenario::{DegradationState, ScenarioSet};
+use crate::schemes::{Plan, ReactionModel, TeContext, TeScheme};
+use prete_lp::{solve, LinearProgram, Sense, SolveStatus, VarId};
+use prete_optical::{FailureModel, ALPHA_PREDICTABLE};
+use prete_topology::{FiberId, Flow, Network, TunnelSet};
+use serde::Serialize;
+
+/// Evaluator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Number of single-degradation states to evaluate explicitly
+    /// (most-probable first); the rest are represented by mass scaling.
+    pub top_k_degraded: usize,
+    /// Epoch length in seconds (15 min).
+    pub epoch_s: f64,
+    /// Relative loss below which a flow counts as unaffected.
+    pub loss_tol: f64,
+    /// SLA outage threshold in seconds: a loss burst at least this long
+    /// marks the epoch unavailable for the flow. Millisecond-scale
+    /// local rate adaptation stays below it; ARROW's 8 s restoration
+    /// and Flexile's convergence exceed it (the paper's Table 9
+    /// reaction-speed taxonomy: "ms" vs "Seconds").
+    pub sla_outage_threshold_s: f64,
+    /// The predictable-cut fraction `α` of the world under evaluation
+    /// (Theorem 4.1's off-signal discount); defaults to the paper's
+    /// 25 %, overridden by the Figure 20(b) α sweep.
+    pub alpha: f64,
+    /// Whether to split degraded states into oracle outcome branches
+    /// (needed only when evaluating oracle-grade estimators; costs 2×
+    /// plans per degraded state). When false, degraded states are
+    /// planned once with the scheme's own beliefs.
+    pub oracle_outcome_split: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            top_k_degraded: 8,
+            epoch_s: 900.0,
+            loss_tol: 1e-6,
+            sla_outage_threshold_s: 1.0,
+            alpha: ALPHA_PREDICTABLE,
+            oracle_outcome_split: false,
+        }
+    }
+}
+
+/// Per-scheme availability results.
+#[derive(Debug, Clone, Serialize)]
+pub struct AvailabilityReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Availability per flow.
+    pub per_flow: Vec<f64>,
+    /// Demand-weighted mean availability.
+    pub mean: f64,
+    /// Worst-flow availability.
+    pub min: f64,
+    /// Total admitted bandwidth in the healthy state (Gbps) — the
+    /// throughput side of the trade-off.
+    pub admitted_gbps: f64,
+}
+
+impl AvailabilityReport {
+    /// Mean unavailability in "nines": `-log10(1 - mean)`.
+    pub fn nines(&self) -> f64 {
+        -(1.0 - self.mean).max(1e-12).log10()
+    }
+}
+
+/// The availability evaluator for one (topology, traffic, model)
+/// configuration.
+pub struct AvailabilityEvaluator<'a> {
+    /// Network under test.
+    pub net: &'a Network,
+    /// Failure model (rates + ground truth).
+    pub model: &'a FailureModel,
+    /// Flows with scaled demands.
+    pub flows: Vec<Flow>,
+    /// Pre-established tunnels.
+    pub base_tunnels: &'a TunnelSet,
+    /// Ground-truth conditional cut probabilities.
+    pub truth: &'a TrueConditionals,
+    /// Configuration.
+    pub cfg: EvalConfig,
+    groups: CapacityGroups,
+}
+
+impl<'a> AvailabilityEvaluator<'a> {
+    /// Builds an evaluator.
+    pub fn new(
+        net: &'a Network,
+        model: &'a FailureModel,
+        flows: Vec<Flow>,
+        base_tunnels: &'a TunnelSet,
+        truth: &'a TrueConditionals,
+        cfg: EvalConfig,
+    ) -> Self {
+        let groups = CapacityGroups::build(net);
+        Self { net, model, flows, base_tunnels, truth, cfg, groups }
+    }
+
+    /// The true per-fiber cut probabilities for a degradation state,
+    /// with optional oracle outcome pinning of the degraded fiber.
+    fn true_probs(&self, state: &DegradationState, outcome: Option<bool>) -> Vec<f64> {
+        self.model
+            .profiles()
+            .iter()
+            .enumerate()
+            .map(|(n, p)| {
+                if state.is_degraded(FiberId(n)) {
+                    match outcome {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => self.truth.per_fiber[n],
+                    }
+                } else {
+                    (1.0 - self.cfg.alpha) * p.p_cut
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates one scheme, returning per-flow availability.
+    pub fn evaluate(&self, scheme: &dyn TeScheme) -> AvailabilityReport {
+        let ctx = TeContext {
+            net: self.net,
+            model: self.model,
+            flows: &self.flows,
+            base_tunnels: self.base_tunnels,
+        };
+        let n_flows = self.flows.len();
+        let mut unavail = vec![0.0f64; n_flows];
+        let mut mass_seen = 0.0f64;
+
+        // --- Healthy state.
+        let p_d: Vec<f64> = self.model.profiles().iter().map(|p| p.p_degradation).collect();
+        let p_healthy: f64 = p_d.iter().map(|p| 1.0 - p).product();
+        let healthy_plan = scheme.plan(&ctx, &DegradationState::healthy(), None);
+        let admitted_gbps: f64 = healthy_plan.admitted.iter().sum();
+        let healthy_truth = self.true_probs(&DegradationState::healthy(), None);
+        self.accumulate(
+            scheme,
+            &healthy_plan,
+            &healthy_truth,
+            p_healthy,
+            &mut unavail,
+        );
+        mass_seen += p_healthy;
+
+        // --- Degraded states: top-k by degradation probability, scaled
+        // to the full single-degradation mass.
+        let mut order: Vec<usize> = (0..p_d.len()).collect();
+        order.sort_by(|&a, &b| p_d[b].partial_cmp(&p_d[a]).expect("finite").then(a.cmp(&b)));
+        let single_mass: f64 = (0..p_d.len())
+            .map(|n| p_d[n] / (1.0 - p_d[n]) * p_healthy)
+            .sum();
+        let covered: f64 = order
+            .iter()
+            .take(self.cfg.top_k_degraded)
+            .map(|&n| p_d[n] / (1.0 - p_d[n]) * p_healthy)
+            .sum();
+        let scale = if covered > 0.0 { single_mass / covered } else { 1.0 };
+        for &n in order.iter().take(self.cfg.top_k_degraded) {
+            let state = DegradationState::single(FiberId(n));
+            let p_state = p_d[n] / (1.0 - p_d[n]) * p_healthy * scale;
+            if p_state <= 0.0 {
+                continue;
+            }
+            if self.cfg.oracle_outcome_split {
+                // Oracle branch: the scheme is told the exact outcome.
+                let p_cut = self.truth.per_fiber[n];
+                for (outcome, w) in [(true, p_cut), (false, 1.0 - p_cut)] {
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let probs = self.true_probs(&state, Some(outcome));
+                    let plan = if scheme.state_aware() {
+                        scheme.plan(&ctx, &state, Some(&probs))
+                    } else {
+                        healthy_plan.clone()
+                    };
+                    self.accumulate(scheme, &plan, &probs, p_state * w, &mut unavail);
+                }
+            } else {
+                let plan = if scheme.state_aware() {
+                    scheme.plan(&ctx, &state, None)
+                } else {
+                    healthy_plan.clone()
+                };
+                let probs = self.true_probs(&state, None);
+                self.accumulate(scheme, &plan, &probs, p_state, &mut unavail);
+            }
+            mass_seen += p_state;
+        }
+
+        let per_flow: Vec<f64> = unavail
+            .iter()
+            .map(|&u| (1.0 - u / mass_seen).clamp(0.0, 1.0))
+            .collect();
+        let total_demand: f64 = self.flows.iter().map(|f| f.demand_gbps).sum();
+        let mean = self
+            .flows
+            .iter()
+            .zip(&per_flow)
+            .map(|(f, &a)| f.demand_gbps * a)
+            .sum::<f64>()
+            / total_demand;
+        let min = per_flow.iter().cloned().fold(1.0, f64::min);
+        AvailabilityReport { scheme: scheme.name(), per_flow, mean, min, admitted_gbps }
+    }
+
+    /// Adds `weight × p_q × outage(q)` for every failure scenario under
+    /// `true_probs`.
+    fn accumulate(
+        &self,
+        scheme: &dyn TeScheme,
+        plan: &Plan,
+        true_probs: &[f64],
+        weight: f64,
+        unavail: &mut [f64],
+    ) {
+        let scenarios = ScenarioSet::enumerate(true_probs, 1, 0.0);
+        // Cache Flexile's recomputed optima per scenario.
+        let mut recompute_cache: Vec<Option<Vec<f64>>> = vec![None; scenarios.len()];
+        for (qi, q) in scenarios.scenarios.iter().enumerate() {
+            if q.prob <= 0.0 {
+                continue;
+            }
+            for f in 0..self.flows.len() {
+                let u = self.outage_fraction(
+                    scheme,
+                    plan,
+                    f,
+                    &q.cut,
+                    qi,
+                    &mut recompute_cache,
+                );
+                if u > 0.0 {
+                    unavail[f] += weight * q.prob * u;
+                }
+            }
+        }
+    }
+
+    /// Outage fraction of the epoch for flow `f` in scenario `cut`.
+    fn outage_fraction(
+        &self,
+        scheme: &dyn TeScheme,
+        plan: &Plan,
+        f: usize,
+        cut: &[FiberId],
+        qi: usize,
+        recompute_cache: &mut [Option<Vec<f64>>],
+    ) -> f64 {
+        let d = self.flows[f].demand_gbps;
+        if d <= 0.0 {
+            return 0.0;
+        }
+        let tol = self.cfg.loss_tol * d;
+        let delivered = plan.delivered(self.net, &self.groups, f, &self.flows, cut);
+        // Admission shortfall (TeaVaR/FFC/ARROW admit b_f < d_f under
+        // load): traffic beyond the admitted rate is lost all epoch, so
+        // charge the unserved fraction of the epoch... no: availability
+        // here is binary per flow per scenario — a flow with any loss
+        // beyond tolerance is "unavailable" per the SLA definition.
+        let healthy_ok = delivered + tol >= d;
+        match scheme.reaction() {
+            ReactionModel::None | ReactionModel::LocalRateAdaptation => {
+                if healthy_ok {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            ReactionModel::CentralizedRecompute { convergence_s } => {
+                if cut.is_empty() {
+                    return if healthy_ok { 0.0 } else { 1.0 };
+                }
+                // Was the flow touched by the failure at all? A reactive
+                // scheme loses the traffic of killed tunnels until the
+                // centralized recompute converges.
+                let touched = plan.killed_allocation(self.net, f, &self.flows, cut) > tol
+                    || !healthy_ok;
+                if !touched {
+                    return 0.0;
+                }
+                // Post-convergence optimum for this scenario.
+                let post = recompute_cache[qi]
+                    .get_or_insert_with(|| self.recompute_optimum(plan, cut));
+                let post_ok = post[f] + tol >= d;
+                if !post_ok || convergence_s >= self.cfg.sla_outage_threshold_s {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ReactionModel::OpticalRestoration { latency_s, restore_fraction } => {
+                if cut.is_empty() {
+                    return if healthy_ok { 0.0 } else { 1.0 };
+                }
+                let restored = (delivered
+                    + restore_fraction
+                        * plan.killed_allocation(self.net, f, &self.flows, cut))
+                .min(plan.admitted[f]);
+                let restored_ok = restored + tol >= d;
+                if !restored_ok {
+                    1.0
+                } else if !healthy_ok {
+                    // The flow relies on restoration: it loses traffic
+                    // for the restoration latency (8 s), which breaches
+                    // the SLA burst threshold — the reason ARROW cannot
+                    // reach 99.95 % in Figure 13.
+                    if latency_s >= self.cfg.sla_outage_threshold_s {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Flexile's post-convergence delivery: the max-throughput LP on
+    /// the failed topology (every flow capped at its demand).
+    fn recompute_optimum(&self, plan: &Plan, cut: &[FiberId]) -> Vec<f64> {
+        let mut lp = LinearProgram::new();
+        let a_vars: Vec<VarId> = (0..plan.tunnels.len())
+            .map(|_| lp.add_var(0.0, f64::INFINITY, 0.0))
+            .collect();
+        let b_vars: Vec<VarId> = self
+            .flows
+            .iter()
+            .map(|fl| lp.add_var(0.0, fl.demand_gbps, -1.0))
+            .collect();
+        let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); self.groups.len()];
+        for t in plan.tunnels.tunnels() {
+            if t.survives(self.net, cut) {
+                for g in self.groups.groups_of_path(&t.path.links) {
+                    group_terms[g].push((a_vars[t.id.index()], 1.0));
+                }
+            }
+        }
+        for (g, terms) in group_terms.into_iter().enumerate() {
+            lp.add_constraint(terms, Sense::Le, self.groups.capacity(g));
+        }
+        for (f, fl) in self.flows.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = plan
+                .tunnels
+                .of_flow(fl.id)
+                .iter()
+                .filter(|&&t| plan.tunnels.tunnel(t).survives(self.net, cut))
+                .map(|&t| (a_vars[t.index()], 1.0))
+                .chain(std::iter::once((b_vars[f], -1.0)))
+                .collect();
+            lp.add_constraint(terms, Sense::Ge, 0.0);
+        }
+        let sol = solve(&lp);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::ProbabilityEstimator;
+    use crate::examples::{triangle, triangle_flows};
+    use crate::schemes::{EcmpScheme, FfcScheme, PreTeScheme, TeaVarScheme};
+    use prete_topology::TunnelSet;
+
+    struct Fixture {
+        net: Network,
+        model: FailureModel,
+        flows: Vec<Flow>,
+        tunnels: TunnelSet,
+        truth: TrueConditionals,
+    }
+
+    /// Triangle at 40 % load (4 of 10 units per flow): the regime where
+    /// single-cut protection is feasible — the operating point of the
+    /// paper's scale-1 evaluations. At full load the triangle cannot
+    /// protect anything and every proactive scheme degenerates.
+    fn fixture() -> Fixture {
+        let net = triangle();
+        let model = FailureModel::new(&net, 42);
+        let flows: Vec<Flow> = triangle_flows()
+            .into_iter()
+            .map(|f| Flow { demand_gbps: 4.0, ..f })
+            .collect();
+        let tunnels = TunnelSet::initialize(&net, &flows, 2);
+        let truth = TrueConditionals::ground_truth(&net, &model, 100, 7);
+        Fixture { net, model, flows, tunnels, truth }
+    }
+
+    fn evaluator(fx: &Fixture) -> AvailabilityEvaluator<'_> {
+        AvailabilityEvaluator::new(
+            &fx.net,
+            &fx.model,
+            fx.flows.clone(),
+            &fx.tunnels,
+            &fx.truth,
+            EvalConfig { top_k_degraded: 3, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn availability_in_unit_interval() {
+        let fx = fixture();
+        let ev = evaluator(&fx);
+        let r = ev.evaluate(&EcmpScheme);
+        assert_eq!(r.per_flow.len(), fx.flows.len());
+        for &a in &r.per_flow {
+            assert!((0.0..=1.0).contains(&a));
+        }
+        assert!(r.min <= r.mean + 1e-12 && r.mean <= 1.0, "min {} mean {}", r.min, r.mean);
+    }
+
+    #[test]
+    fn ffc1_beats_ecmp_under_failures() {
+        let fx = fixture();
+        let ev = evaluator(&fx);
+        let ecmp = ev.evaluate(&EcmpScheme);
+        let ffc = ev.evaluate(&FfcScheme::one());
+        assert!(
+            ffc.mean >= ecmp.mean,
+            "FFC {} < ECMP {}",
+            ffc.mean,
+            ecmp.mean
+        );
+    }
+
+    #[test]
+    fn prete_at_least_as_available_as_teavar() {
+        // The headline claim at triangle scale: dynamic probabilities +
+        // reactive tunnels never hurt availability.
+        let fx = fixture();
+        let ev = evaluator(&fx);
+        let teavar = ev.evaluate(&TeaVarScheme::new(&fx.model, 0.99));
+        let prete = ev.evaluate(&PreTeScheme::new(
+            0.99,
+            ProbabilityEstimator::prete(&fx.model, &fx.truth),
+        ));
+        assert!(
+            prete.mean + 1e-9 >= teavar.mean,
+            "PreTE {} < TeaVaR {}",
+            prete.mean,
+            teavar.mean
+        );
+    }
+
+    #[test]
+    fn oracle_split_at_least_as_good_as_plain() {
+        let fx = fixture();
+        let mut cfg = EvalConfig { top_k_degraded: 3, ..Default::default() };
+        let plain = AvailabilityEvaluator::new(
+            &fx.net,
+            &fx.model,
+            fx.flows.clone(),
+            &fx.tunnels,
+            &fx.truth,
+            cfg,
+        );
+        let scheme =
+            PreTeScheme::new(0.99, ProbabilityEstimator::prete(&fx.model, &fx.truth));
+        let base = plain.evaluate(&scheme);
+        cfg.oracle_outcome_split = true;
+        let oracle_ev = AvailabilityEvaluator::new(
+            &fx.net,
+            &fx.model,
+            fx.flows.clone(),
+            &fx.tunnels,
+            &fx.truth,
+            cfg,
+        );
+        let oracle = oracle_ev.evaluate(&scheme);
+        // The greedy inner solver does not guarantee pointwise
+        // dominance (different branches polish toward different base
+        // scenarios), so allow a hair of slack; the oracle must never
+        // be *meaningfully* worse than planning under uncertainty.
+        assert!(
+            oracle.mean + 5e-5 >= base.mean,
+            "oracle {} < plain {}",
+            oracle.mean,
+            base.mean
+        );
+    }
+
+    #[test]
+    fn nines_conversion() {
+        let r = AvailabilityReport {
+            scheme: "x".into(),
+            per_flow: vec![],
+            mean: 0.999,
+            min: 0.999,
+            admitted_gbps: 0.0,
+        };
+        assert!((r.nines() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_collapses_availability() {
+        // At 5× demand the triangle cannot carry the traffic: every
+        // scheme's availability drops far below 99 %.
+        let fx = fixture();
+        let scaled: Vec<Flow> = fx
+            .flows
+            .iter()
+            .map(|f| Flow { demand_gbps: f.demand_gbps * 5.0, ..*f })
+            .collect();
+        let ev = AvailabilityEvaluator::new(
+            &fx.net,
+            &fx.model,
+            scaled,
+            &fx.tunnels,
+            &fx.truth,
+            EvalConfig::default(),
+        );
+        let r = ev.evaluate(&TeaVarScheme::new(&fx.model, 0.99));
+        assert!(r.mean < 0.99, "availability {}", r.mean);
+    }
+}

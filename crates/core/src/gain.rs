@@ -1,0 +1,77 @@
+//! Demand-scale search: "satisfied demand at an availability level".
+//!
+//! Table 4 reports PreTE's gain as the ratio of the maximum demand
+//! scale each scheme sustains while keeping availability above a
+//! target (99 % … 99.95 %). Availability is monotonically
+//! non-increasing in the demand scale, so a bisection over the scale
+//! suffices.
+
+/// Finds (by bisection) the largest demand scale in `[lo, hi]` whose
+/// availability, as computed by `availability_at`, still meets
+/// `target`. Returns `None` if even `lo` misses the target.
+///
+/// `availability_at` is expected to be non-increasing in the scale;
+/// `iters` bisection steps give a resolution of `(hi-lo)/2^iters`.
+pub fn max_supported_scale(
+    mut availability_at: impl FnMut(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    iters: usize,
+) -> Option<f64> {
+    assert!(lo > 0.0 && hi > lo, "invalid bracket [{lo}, {hi}]");
+    assert!((0.0..1.0).contains(&target));
+    if availability_at(lo) < target {
+        return None;
+    }
+    let mut good = lo;
+    let mut bad = hi;
+    if availability_at(hi) >= target {
+        return Some(hi);
+    }
+    for _ in 0..iters {
+        let mid = 0.5 * (good + bad);
+        if availability_at(mid) >= target {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_finds_threshold() {
+        // availability = 1 - scale/10 → target 0.7 crossed at scale 3.
+        let f = |s: f64| 1.0 - s / 10.0;
+        let m = max_supported_scale(f, 0.7, 0.5, 8.0, 30).unwrap();
+        assert!((m - 3.0).abs() < 1e-6, "{m}");
+    }
+
+    #[test]
+    fn target_unreachable_returns_none() {
+        let f = |_s: f64| 0.5;
+        assert!(max_supported_scale(f, 0.9, 1.0, 4.0, 10).is_none());
+    }
+
+    #[test]
+    fn saturated_returns_hi() {
+        let f = |_s: f64| 0.9999;
+        assert_eq!(max_supported_scale(f, 0.99, 1.0, 8.0, 10), Some(8.0));
+    }
+
+    #[test]
+    fn counts_calls_reasonably() {
+        let mut calls = 0;
+        let f = |s: f64| {
+            calls += 1;
+            1.0 - s / 10.0
+        };
+        let _ = max_supported_scale(f, 0.5, 1.0, 9.0, 12);
+        assert!(calls <= 15, "{calls} calls");
+    }
+}

@@ -1,0 +1,240 @@
+//! Degradation states and probabilistic failure scenarios (§4.3).
+//!
+//! A *degradation state* `s` is a binary vector over fibers marking
+//! which are currently degraded. Given per-fiber failure probabilities
+//! `p_n` (which depend on `s` through Eqn 1), a *failure scenario*
+//! `q̂ = (q̂_1, …, q̂_N)` occurs with the product-form probability
+//! `p_q̂ = Π_n (q̂_n p_n + (1 − q̂_n)(1 − p_n))`.
+//!
+//! Enumerating all `2^N` scenarios is hopeless; like TeaVaR, we keep
+//! the scenarios above a probability cutoff with at most `max_cuts`
+//! simultaneous cuts — in practice the no-failure scenario plus all
+//! single-fiber cuts already cover > 99.9 % of the probability mass at
+//! the paper's failure rates.
+
+use prete_topology::FiberId;
+use serde::{Deserialize, Serialize};
+
+/// Which fibers are currently degraded (the `s` of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationState {
+    /// Degraded fibers, sorted.
+    pub degraded: Vec<FiberId>,
+}
+
+impl DegradationState {
+    /// The all-healthy state.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// A state with exactly one degraded fiber.
+    pub fn single(f: FiberId) -> Self {
+        Self { degraded: vec![f] }
+    }
+
+    /// Builds from an unsorted fiber list.
+    pub fn new(mut degraded: Vec<FiberId>) -> Self {
+        degraded.sort();
+        degraded.dedup();
+        Self { degraded }
+    }
+
+    /// Whether fiber `f` is degraded in this state.
+    pub fn is_degraded(&self, f: FiberId) -> bool {
+        self.degraded.binary_search(&f).is_ok()
+    }
+
+    /// Whether no fiber is degraded.
+    pub fn is_healthy(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
+/// One failure scenario: the set of simultaneously cut fibers with its
+/// product-form probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// Cut fibers (empty = the no-failure scenario).
+    pub cut: Vec<FiberId>,
+    /// Probability `p_q̂` under the generating per-fiber probabilities.
+    pub prob: f64,
+}
+
+impl FailureScenario {
+    /// Whether this is the no-failure scenario.
+    pub fn is_no_failure(&self) -> bool {
+        self.cut.is_empty()
+    }
+}
+
+/// The scenario set `Q_s` for one degradation state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSet {
+    /// Scenarios, no-failure first, then by decreasing probability.
+    pub scenarios: Vec<FailureScenario>,
+}
+
+impl ScenarioSet {
+    /// Enumerates scenarios from per-fiber failure probabilities
+    /// (`probs[n]` = probability fiber `n` is cut this epoch), keeping
+    /// scenarios with at most `max_cuts` simultaneous cuts and
+    /// probability at least `cutoff`.
+    ///
+    /// The no-failure scenario is always included. Fibers with
+    /// certainty (`p = 1`, the oracle case) are forced into every
+    /// scenario's cut set; fibers with `p = 0` never cut.
+    pub fn enumerate(probs: &[f64], max_cuts: usize, cutoff: f64) -> ScenarioSet {
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "invalid probability");
+        let n = probs.len();
+        let p_none: f64 = probs.iter().map(|p| 1.0 - p).product();
+        // Certain fibers (oracle "will cut"): in every scenario.
+        let certain: Vec<FiberId> = (0..n)
+            .filter(|&i| probs[i] >= 1.0 - 1e-12)
+            .map(FiberId)
+            .collect();
+        let uncertain: Vec<usize> = (0..n)
+            .filter(|&i| probs[i] > 1e-15 && probs[i] < 1.0 - 1e-12)
+            .collect();
+        let base_prob: f64 = uncertain.iter().map(|&i| 1.0 - probs[i]).product();
+
+        let mut scenarios = vec![FailureScenario {
+            cut: certain.clone(),
+            prob: if certain.is_empty() { p_none } else { base_prob },
+        }];
+        // Single cuts.
+        if max_cuts >= 1 {
+            for &i in &uncertain {
+                let prob = base_prob / (1.0 - probs[i]) * probs[i];
+                if prob >= cutoff {
+                    let mut cut = certain.clone();
+                    cut.push(FiberId(i));
+                    cut.sort();
+                    scenarios.push(FailureScenario { cut, prob });
+                }
+            }
+        }
+        // Double cuts.
+        if max_cuts >= 2 {
+            for (a_pos, &i) in uncertain.iter().enumerate() {
+                for &j in &uncertain[a_pos + 1..] {
+                    let prob = base_prob / ((1.0 - probs[i]) * (1.0 - probs[j]))
+                        * probs[i]
+                        * probs[j];
+                    if prob >= cutoff {
+                        let mut cut = certain.clone();
+                        cut.push(FiberId(i));
+                        cut.push(FiberId(j));
+                        cut.sort();
+                        scenarios.push(FailureScenario { cut, prob });
+                    }
+                }
+            }
+        }
+        assert!(max_cuts <= 2, "scenario enumeration supports at most double cuts");
+        // No-failure first, then by decreasing probability.
+        scenarios[1..].sort_by(|x, y| {
+            y.prob.partial_cmp(&x.prob).expect("finite").then_with(|| x.cut.cmp(&y.cut))
+        });
+        ScenarioSet { scenarios }
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty (never: the no-failure scenario is
+    /// always present).
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Total probability mass covered by the kept scenarios.
+    pub fn covered_mass(&self) -> f64 {
+        self.scenarios.iter().map(|s| s.prob).sum()
+    }
+
+    /// The scenarios in which fiber `f` is cut.
+    pub fn cutting(&self, f: FiberId) -> impl Iterator<Item = &FailureScenario> {
+        self.scenarios.iter().filter(move |s| s.cut.contains(&f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_scenarios() {
+        // The Figure 2 example: p = (0.005, 0.009, 0.001).
+        let s = ScenarioSet::enumerate(&[0.005, 0.009, 0.001], 2, 0.0);
+        // 1 + 3 singles + 3 doubles
+        assert_eq!(s.len(), 7);
+        assert!(s.scenarios[0].is_no_failure());
+        let p0 = 0.995f64 * 0.991 * 0.999;
+        assert!((s.scenarios[0].prob - p0).abs() < 1e-12);
+        // Highest-probability single cut is fiber 1 (p=0.009).
+        assert_eq!(s.scenarios[1].cut, vec![FiberId(1)]);
+        // Mass of kept scenarios ≈ 1 (triples excluded, tiny).
+        assert!(s.covered_mass() > 0.999_999);
+    }
+
+    #[test]
+    fn cutoff_prunes() {
+        let s = ScenarioSet::enumerate(&[0.005, 0.009, 0.001], 2, 1e-4);
+        // doubles have prob ~1e-5..1e-6 → pruned; singles ~1e-3 kept.
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn oracle_certain_failure() {
+        // Oracle knows fiber 0 will fail: p = 1 → every scenario cuts 0.
+        let s = ScenarioSet::enumerate(&[1.0, 0.01, 0.0], 1, 0.0);
+        assert!(s.scenarios.iter().all(|q| q.cut.contains(&FiberId(0))));
+        assert!(s.scenarios.iter().all(|q| !q.cut.contains(&FiberId(2))));
+        assert!((s.covered_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_certain_survival() {
+        // Oracle knows nothing fails: only the no-failure scenario.
+        let s = ScenarioSet::enumerate(&[0.0, 0.0], 2, 0.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.scenarios[0].prob, 1.0);
+    }
+
+    #[test]
+    fn probabilities_form_product() {
+        let probs = [0.1, 0.2];
+        let s = ScenarioSet::enumerate(&probs, 2, 0.0);
+        assert_eq!(s.len(), 4);
+        assert!((s.covered_mass() - 1.0).abs() < 1e-12);
+        let both = s
+            .scenarios
+            .iter()
+            .find(|q| q.cut.len() == 2)
+            .expect("double scenario");
+        assert!((both.prob - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_state_queries() {
+        let s = DegradationState::new(vec![FiberId(3), FiberId(1), FiberId(3)]);
+        assert_eq!(s.degraded, vec![FiberId(1), FiberId(3)]);
+        assert!(s.is_degraded(FiberId(1)));
+        assert!(!s.is_degraded(FiberId(2)));
+        assert!(!s.is_healthy());
+        assert!(DegradationState::healthy().is_healthy());
+    }
+
+    #[test]
+    fn single_cut_mass_dominates_at_paper_rates() {
+        // At p ~ 0.003 per fiber over 20 fibers, no-failure + singles
+        // cover > 99.9 % of the mass — the cutoff rationale.
+        let probs = vec![0.003; 20];
+        let s = ScenarioSet::enumerate(&probs, 1, 0.0);
+        assert_eq!(s.len(), 21);
+        assert!(s.covered_mass() > 0.998, "mass {}", s.covered_mass());
+    }
+}

@@ -1,0 +1,32 @@
+//! Linear and mixed-integer programming substrate for PreTE.
+//!
+//! The paper solves its TE formulations with Gurobi (§6); no mature
+//! pure-Rust LP stack exists for this pipeline (the repro notes call
+//! this out explicitly), so this crate implements the required solver
+//! machinery from scratch:
+//!
+//! * [`model::LinearProgram`] — a small modelling API (variables with
+//!   bounds, sparse linear constraints, minimization objective);
+//! * [`simplex`] — a two-phase dense-tableau primal simplex with dual
+//!   extraction (the duals drive the Benders optimality cuts of
+//!   Appendix A.4/A.5);
+//! * [`mip`] — branch-and-bound over binary/integer variables on top of
+//!   the simplex relaxation, used for the Benders master problem and as
+//!   an exact (small-instance) reference solver for the full MIP
+//!   (2)–(8).
+//!
+//! Problem sizes in this workspace are a few hundred to a few thousand
+//! rows/columns; the dense tableau is deliberate — simple, robust, easy
+//! to verify — per the project's smoltcp-inspired "simplicity and
+//! robustness over cleverness" rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mip;
+pub mod model;
+pub mod simplex;
+
+pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
+pub use model::{Constraint, ConstraintId, LinearProgram, Sense, VarId};
+pub use simplex::{solve, SimplexOptions, Solution, SolveStatus};

@@ -1,0 +1,270 @@
+//! Linear-program modelling API.
+//!
+//! A [`LinearProgram`] is a minimization problem over continuous
+//! variables with lower/upper bounds and sparse linear constraints.
+//! Maximization is expressed by negating objective coefficients (the
+//! TE formulations in the paper are all stated as minimizations of the
+//! global loss `Φ`, Eqn (2)).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Index of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConstraintId(pub usize);
+
+impl ConstraintId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// `Σ a_j x_j <= b`
+    Le,
+    /// `Σ a_j x_j >= b`
+    Ge,
+    /// `Σ a_j x_j = b`
+    Eq,
+}
+
+/// A sparse linear constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; variables may repeat (they are
+    /// summed during solving).
+    pub terms: Vec<(VarId, f64)>,
+    /// Constraint direction.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional label for diagnostics.
+    pub name: Option<String>,
+}
+
+/// A variable's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Lower bound (finite; default 0).
+    pub lower: f64,
+    /// Upper bound (`f64::INFINITY` for unbounded above).
+    pub upper: f64,
+    /// Objective coefficient (minimized).
+    pub objective: f64,
+    /// Optional label for diagnostics.
+    pub name: Option<String>,
+}
+
+/// A minimization linear program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and the given
+    /// objective coefficient.
+    ///
+    /// # Panics
+    /// Panics if `lower` is not finite, `upper < lower`, or the
+    /// objective coefficient is not finite.
+    pub fn add_var(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(upper >= lower, "upper < lower ({upper} < {lower})");
+        assert!(objective.is_finite(), "objective must be finite");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { lower, upper, objective, name: None });
+        id
+    }
+
+    /// Adds a named variable.
+    pub fn add_named_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        let id = self.add_var(lower, upper, objective);
+        self.vars[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Adds a constraint `Σ terms {<=,>=,=} rhs`.
+    ///
+    /// # Panics
+    /// Panics on unknown variables or non-finite numbers.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> ConstraintId {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(v, c) in &terms {
+            assert!(v.index() < self.vars.len(), "unknown variable {v:?}");
+            assert!(c.is_finite(), "coefficient must be finite");
+        }
+        let id = ConstraintId(self.constraints.len());
+        self.constraints.push(Constraint { terms, sense, rhs, name: None });
+        id
+    }
+
+    /// Adds a named constraint.
+    pub fn add_named_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: Vec<(VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> ConstraintId {
+        let id = self.add_constraint(terms, sense, rhs);
+        self.constraints[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Replaces the right-hand side of an existing constraint (used by
+    /// iterative algorithms like Benders that re-solve with new RHS).
+    pub fn set_rhs(&mut self, c: ConstraintId, rhs: f64) {
+        assert!(rhs.is_finite());
+        self.constraints[c.index()].rhs = rhs;
+    }
+
+    /// Replaces the objective coefficient of a variable.
+    pub fn set_objective(&mut self, v: VarId, coeff: f64) {
+        assert!(coeff.is_finite());
+        self.vars[v.index()].objective = coeff;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, v: VarId) -> &Variable {
+        &self.vars[v.index()]
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Constraint row.
+    pub fn constraint(&self, c: ConstraintId) -> &Constraint {
+        &self.constraints[c.index()]
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.objective * xi).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`,
+    /// returning the first violated constraint/bound description.
+    pub fn check_feasible(&self, x: &[f64], tol: f64) -> Result<(), String> {
+        assert_eq!(x.len(), self.vars.len());
+        for (i, (v, &xi)) in self.vars.iter().zip(x).enumerate() {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return Err(format!(
+                    "variable {} = {xi} outside [{}, {}]",
+                    v.name.clone().unwrap_or_else(|| format!("x{i}")),
+                    v.lower,
+                    v.upper
+                ));
+            }
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Err(format!(
+                    "constraint {} violated: lhs = {lhs}, sense {:?}, rhs = {}",
+                    c.name.clone().unwrap_or_else(|| format!("c{i}")),
+                    c.sense,
+                    c.rhs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_named_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, 5.0, -2.0);
+        let c = lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 10.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.var(x).name.as_deref(), Some("x"));
+        assert_eq!(lp.constraint(c).rhs, 10.0);
+        assert_eq!(lp.objective_value(&[3.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 0.5);
+        assert!(lp.check_feasible(&[0.7], 1e-9).is_ok());
+        assert!(lp.check_feasible(&[0.2], 1e-9).is_err());
+        assert!(lp.check_feasible(&[1.5], 1e-9).is_err());
+    }
+
+    #[test]
+    fn rhs_update() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let c = lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 1.0);
+        lp.set_rhs(c, 4.0);
+        assert_eq!(lp.constraint(c).rhs, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper < lower")]
+    fn inverted_bounds_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(2.0, 1.0, 0.0);
+    }
+}

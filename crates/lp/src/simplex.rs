@@ -1,0 +1,683 @@
+//! Two-phase dense-tableau primal simplex with dual extraction.
+//!
+//! ## Transformation pipeline
+//!
+//! 1. Variables are shifted so every lower bound is 0 (`x = x' + lb`);
+//!    the objective constant this introduces is added back at the end.
+//! 2. Finite upper bounds become extra `<=` rows (the TE programs have
+//!    very few of them — only the loss variables are boxed).
+//! 3. Rows with negative right-hand side are negated (senses flip).
+//! 4. `<=` rows get a slack column, `>=` rows a surplus column plus an
+//!    artificial, `=` rows an artificial.
+//! 5. Phase 1 minimizes the artificial sum from the slack/artificial
+//!    basis; phase 2 minimizes the real objective with artificial
+//!    columns barred from entering.
+//!
+//! ## Duals
+//!
+//! [`Solution::duals`] reports one multiplier per *user* constraint with
+//! the convention that, at optimality of a minimization problem,
+//! `objective = Σ_i duals[i] · rhs[i]` whenever all variable lower
+//! bounds are 0 and no upper bound is active. Signs follow the senses:
+//! `<=` rows have non-positive duals, `>=` rows non-negative, `=` rows
+//! free. These are exactly the multipliers the Benders optimality cut
+//! (Eqn (11) / Appendix A.5) needs.
+//!
+//! ## Anti-cycling
+//!
+//! Dantzig pricing with an automatic switch to Bland's rule after a
+//! stall (many iterations without objective improvement) guarantees
+//! termination.
+
+use crate::model::{LinearProgram, Sense};
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard cap on pivots across both phases.
+    pub max_iterations: usize,
+    /// Numerical tolerance for reduced costs / pivots / feasibility.
+    pub eps: f64,
+    /// Iterations without improvement before switching to Bland's rule.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self { max_iterations: 200_000, eps: 1e-9, stall_threshold: 1_000 }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Iteration limit hit before convergence.
+    IterationLimit,
+}
+
+/// A solved linear program.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Optimal variable values (original variable space); meaningful
+    /// only when `status == Optimal`.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Dual multipliers, one per user constraint (see module docs).
+    pub duals: Vec<f64>,
+    /// Total pivots performed.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Convenience accessor returning the value of a variable.
+    pub fn value(&self, v: crate::model::VarId) -> f64 {
+        self.x[v.index()]
+    }
+
+    /// Whether the solve reached optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+/// Solves a [`LinearProgram`] (minimization) with default options.
+pub fn solve(lp: &LinearProgram) -> Solution {
+    solve_with(lp, SimplexOptions::default())
+}
+
+/// Solves with explicit options.
+pub fn solve_with(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
+    Tableau::build(lp, opts).run(lp)
+}
+
+/// Column classification inside the tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+struct Tableau {
+    opts: SimplexOptions,
+    /// Row-major (m+1) x (ncols+1); last row = objective (reduced
+    /// costs, negated objective value in the rhs cell), last column =
+    /// rhs.
+    t: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    /// Basis variable (column) of each row.
+    basis: Vec<usize>,
+    kind: Vec<ColKind>,
+    /// For each user constraint row index: (tableau row, sign flip).
+    user_rows: Vec<(usize, f64)>,
+    /// Identity-ish column used to read the dual of each tableau row.
+    dual_col: Vec<usize>,
+    /// Shifted lower bounds per structural variable.
+    shift: Vec<f64>,
+    /// Objective constant from the shift.
+    obj_const: f64,
+    n_structural: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram, opts: SimplexOptions) -> Self {
+        let n = lp.num_vars();
+        let shift: Vec<f64> = lp.vars().iter().map(|v| v.lower).collect();
+        let obj_const: f64 =
+            lp.vars().iter().map(|v| v.objective * v.lower).sum();
+
+        // Assemble rows: user constraints then upper-bound rows.
+        // Each row: (dense coeffs over structural vars, sense, rhs).
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(lp.num_constraints());
+        for c in lp.constraints() {
+            // Sum duplicate terms, shift rhs by lower bounds.
+            let mut dense: Vec<f64> = vec![0.0; n];
+            for &(v, a) in &c.terms {
+                dense[v.index()] += a;
+            }
+            let mut rhs = c.rhs;
+            for (j, &a) in dense.iter().enumerate() {
+                rhs -= a * shift[j];
+            }
+            let coeffs: Vec<(usize, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a != 0.0)
+                .map(|(j, &a)| (j, a))
+                .collect();
+            rows.push(Row { coeffs, sense: c.sense, rhs });
+        }
+        let n_user = rows.len();
+        for (j, v) in lp.vars().iter().enumerate() {
+            if v.upper.is_finite() {
+                rows.push(Row {
+                    coeffs: vec![(j, 1.0)],
+                    sense: Sense::Le,
+                    rhs: v.upper - v.lower,
+                });
+            }
+        }
+
+        // Normalize rhs >= 0, decide slack/artificial columns.
+        let m = rows.len();
+        let mut signs = vec![1.0f64; m];
+        for (i, r) in rows.iter_mut().enumerate() {
+            if r.rhs < 0.0 {
+                signs[i] = -1.0;
+                r.rhs = -r.rhs;
+                for c in &mut r.coeffs {
+                    c.1 = -c.1;
+                }
+                r.sense = match r.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for r in &rows {
+            match r.sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1; // surplus
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let ncols = n + n_slack + n_art;
+        let stride = ncols + 1;
+        let mut t = vec![0.0f64; (m + 1) * stride];
+        let mut kind = vec![ColKind::Structural; ncols];
+        for k in kind.iter_mut().take(n + n_slack).skip(n) {
+            *k = ColKind::Slack;
+        }
+        for k in kind.iter_mut().skip(n + n_slack) {
+            *k = ColKind::Artificial;
+        }
+
+        let mut basis = vec![usize::MAX; m];
+        let mut dual_col = vec![usize::MAX; m];
+        let mut slack_next = n;
+        let mut art_next = n + n_slack;
+        for (i, r) in rows.iter().enumerate() {
+            let row = &mut t[i * stride..(i + 1) * stride];
+            for &(j, a) in &r.coeffs {
+                row[j] = a;
+            }
+            row[ncols] = r.rhs;
+            match r.sense {
+                Sense::Le => {
+                    row[slack_next] = 1.0;
+                    basis[i] = slack_next;
+                    dual_col[i] = slack_next;
+                    slack_next += 1;
+                }
+                Sense::Ge => {
+                    row[slack_next] = -1.0; // surplus
+                    slack_next += 1;
+                    row[art_next] = 1.0;
+                    basis[i] = art_next;
+                    dual_col[i] = art_next;
+                    art_next += 1;
+                }
+                Sense::Eq => {
+                    row[art_next] = 1.0;
+                    basis[i] = art_next;
+                    dual_col[i] = art_next;
+                    art_next += 1;
+                }
+            }
+        }
+
+        let user_rows = (0..n_user).map(|i| (i, signs[i])).collect();
+        Self {
+            opts,
+            t,
+            m,
+            ncols,
+            basis,
+            kind,
+            user_rows,
+            dual_col,
+            shift,
+            obj_const,
+            n_structural: n,
+            iterations: 0,
+        }
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.ncols + 1
+    }
+
+    fn obj_row(&self) -> usize {
+        self.m
+    }
+
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * self.stride() + c]
+    }
+
+    /// Sets the objective row to the reduced costs of cost vector `c`
+    /// given the current basis (costs of non-listed columns are 0).
+    fn price_objective(&mut self, costs: &[f64]) {
+        let stride = self.stride();
+        let or = self.obj_row() * stride;
+        // Raw costs.
+        for j in 0..self.ncols {
+            self.t[or + j] = costs.get(j).copied().unwrap_or(0.0);
+        }
+        self.t[or + self.ncols] = 0.0;
+        // Subtract c_B times each basic row.
+        for i in 0..self.m {
+            let cb = costs.get(self.basis[i]).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                let rr = i * stride;
+                for j in 0..=self.ncols {
+                    self.t[or + j] -= cb * self.t[rr + j];
+                }
+            }
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let stride = self.stride();
+        let p = self.at(row, col);
+        debug_assert!(p.abs() > self.opts.eps);
+        let rr = row * stride;
+        let inv = 1.0 / p;
+        for j in 0..=self.ncols {
+            self.t[rr + j] *= inv;
+        }
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let f = self.at(r, col);
+            if f == 0.0 {
+                continue;
+            }
+            let br = r * stride;
+            for j in 0..=self.ncols {
+                self.t[br + j] -= f * self.t[rr + j];
+            }
+            // Kill residual round-off in the pivot column.
+            self.t[br + col] = 0.0;
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// Runs the simplex loop on the current objective row. `allow`
+    /// filters candidate entering columns.
+    fn iterate(&mut self, allow_artificials: bool) -> SolveStatus {
+        let eps = self.opts.eps;
+        let mut best_obj = f64::INFINITY;
+        let mut stall = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return SolveStatus::IterationLimit;
+            }
+            let use_bland = stall >= self.opts.stall_threshold;
+            // Entering column.
+            let or = self.obj_row() * self.stride();
+            let mut enter: Option<usize> = None;
+            let mut best = -eps;
+            for j in 0..self.ncols {
+                if !allow_artificials && self.kind[j] == ColKind::Artificial {
+                    continue;
+                }
+                let c = self.t[or + j];
+                if use_bland {
+                    if c < -eps {
+                        enter = Some(j);
+                        break;
+                    }
+                } else if c < best {
+                    best = c;
+                    enter = Some(j);
+                }
+            }
+            let Some(col) = enter else {
+                return SolveStatus::Optimal;
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, col);
+                if a > eps {
+                    let ratio = self.at(r, self.ncols) / a;
+                    let better = ratio < best_ratio - eps
+                        || (ratio < best_ratio + eps
+                            && leave.map_or(true, |l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return SolveStatus::Unbounded;
+            };
+            self.pivot(row, col);
+            let obj = -self.at(self.obj_row(), self.ncols);
+            if obj < best_obj - 1e-12 {
+                best_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+
+    fn run(mut self, lp: &LinearProgram) -> Solution {
+        let _eps = self.opts.eps;
+        // Phase 1: minimize artificial sum.
+        let has_art = self.kind.iter().any(|&k| k == ColKind::Artificial);
+        if has_art {
+            let costs: Vec<f64> = self
+                .kind
+                .iter()
+                .map(|&k| if k == ColKind::Artificial { 1.0 } else { 0.0 })
+                .collect();
+            self.price_objective(&costs);
+            let st = self.iterate(true);
+            if st == SolveStatus::IterationLimit {
+                return self.failed(SolveStatus::IterationLimit, lp);
+            }
+            let phase1 = -self.at(self.obj_row(), self.ncols);
+            if phase1 > 1e-6 {
+                return self.failed(SolveStatus::Infeasible, lp);
+            }
+            // Drive artificials out of the basis where possible so they
+            // cannot re-enter trouble in phase 2.
+            for r in 0..self.m {
+                if self.kind[self.basis[r]] == ColKind::Artificial
+                    && self.at(r, self.ncols).abs() <= 1e-7
+                {
+                    if let Some(col) = (0..self.ncols).find(|&j| {
+                        self.kind[j] != ColKind::Artificial && self.at(r, j).abs() > 1e-7
+                    }) {
+                        self.pivot(r, col);
+                    }
+                }
+            }
+        }
+        // Phase 2: real objective.
+        let mut costs = vec![0.0f64; self.ncols];
+        for (j, v) in lp.vars().iter().enumerate() {
+            costs[j] = v.objective;
+        }
+        self.price_objective(&costs);
+        let st = self.iterate(false);
+        match st {
+            SolveStatus::Optimal => self.extract(lp),
+            other => self.failed(other, lp),
+        }
+    }
+
+    fn extract(&self, _lp: &LinearProgram) -> Solution {
+        let mut x = vec![0.0f64; self.n_structural];
+        for r in 0..self.m {
+            let b = self.basis[r];
+            if b < self.n_structural {
+                x[b] = self.at(r, self.ncols);
+            }
+        }
+        for (j, xi) in x.iter_mut().enumerate() {
+            *xi += self.shift[j];
+        }
+        let objective = -self.at(self.obj_row(), self.ncols) + self.obj_const;
+        // Duals: reduced cost of each row's identity column.
+        // Slack column (coefficient +1, cost 0): reduced = -y → y = -rc.
+        // Artificial column (coefficient +1, cost 0 in phase 2): same.
+        let or = self.obj_row() * self.stride();
+        let duals: Vec<f64> = self
+            .user_rows
+            .iter()
+            .map(|&(row, sign)| {
+                let col = self.dual_col[row];
+                let rc = self.t[or + col];
+                -rc * sign
+            })
+            .collect();
+        Solution {
+            status: SolveStatus::Optimal,
+            x,
+            objective,
+            duals,
+            iterations: self.iterations,
+        }
+    }
+
+    fn failed(&self, status: SolveStatus, lp: &LinearProgram) -> Solution {
+        Solution {
+            status,
+            x: vec![0.0; lp.num_vars()],
+            objective: f64::NAN,
+            duals: vec![0.0; lp.num_constraints()],
+            iterations: self.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Sense};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_max_as_min() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+        // optimum at intersection: x = 8/5, y = 6/5 → obj 14/5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Sense::Le, 6.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.objective, -14.0 / 5.0, 1e-8);
+        assert_close(s.value(x), 8.0 / 5.0, 1e-8);
+        assert_close(s.value(y), 6.0 / 5.0, 1e-8);
+        lp.check_feasible(&s.x, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x >= 4 → x=10? no: y >= 0 so
+        // minimize puts weight on x: x = 10, y = 0 but x >= 4 ok → obj 20.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 4.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 20.0, 1e-8);
+        assert_close(s.value(x), 10.0, 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(solve(&lp).status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_constraint(vec![(x, -1.0)], Sense::Le, 0.0);
+        assert_eq!(solve(&lp).status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x, x in [0, 7]
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 7.0, -1.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 7.0, 1e-9);
+        assert_close(s.objective, -7.0, 1e-9);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x + y, x >= 2, y >= 3, x + y >= 6 → obj 6.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(2.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(3.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 6.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 6.0, 1e-8);
+        assert!(s.value(x) >= 2.0 - 1e-9 && s.value(y) >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // min c'x with only user constraints and lb 0: obj = y'b.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, -3.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -5.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.objective, -36.0, 1e-8); // classic example, max 3x+5y = 36
+        let dual_obj: f64 = s
+            .duals
+            .iter()
+            .zip([4.0, 12.0, 18.0])
+            .map(|(&d, b)| d * b)
+            .sum();
+        assert_close(dual_obj, s.objective, 1e-7);
+        // all duals non-positive for <= rows in a min problem
+        assert!(s.duals.iter().all(|&d| d <= 1e-9));
+    }
+
+    #[test]
+    fn duals_for_ge_rows_are_nonnegative() {
+        // min 2x + y s.t. x + y >= 3, x >= 0, y >= 0 → y = 3, obj 3, dual 1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 3.0, 1e-8);
+        assert_close(s.duals[0], 1.0, 1e-8);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -5  (i.e. x >= 5)
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, -1.0)], Sense::Le, -5.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 5.0, 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-flavoured degenerate stack; just checks termination
+        // and optimality, exercising the Bland fallback path.
+        let mut lp = LinearProgram::new();
+        let n = 12;
+        let xs: Vec<_> = (0..n)
+            .map(|i| lp.add_var(0.0, f64::INFINITY, -(2f64.powi(n as i32 - 1 - i as i32))))
+            .collect();
+        for i in 0..n {
+            let mut terms: Vec<_> = (0..i)
+                .map(|j| (xs[j], 2f64.powi((i - j) as i32 + 1)))
+                .collect();
+            terms.push((xs[i], 1.0));
+            lp.add_constraint(terms, Sense::Le, 100f64.powi(i as i32));
+        }
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        let expected = -(100f64.powi(n as i32 - 1));
+        assert!(
+            ((s.objective - expected) / expected).abs() < 1e-9,
+            "{} vs {expected}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // min -x s.t. 0.5x + 0.5x <= 3  → x = 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_constraint(vec![(x, 0.5), (x, 0.5)], Sense::Le, 3.0);
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        assert_close(s.value(x), 3.0, 1e-9);
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 plants (cap 20, 30) → 3 markets (demand 10, 25, 15);
+        // costs: [[2,4,5],[3,1,7]]. Known optimum: 10*2 + ... compute:
+        // plant1→m1 10 (2), plant2→m2 25 (1), plant1→m3 10 (5),
+        // plant2→m3 5 (7)?? Let's just assert feasibility + duality.
+        let mut lp = LinearProgram::new();
+        let costs = [[2.0, 4.0, 5.0], [3.0, 1.0, 7.0]];
+        let mut v = [[crate::model::VarId(0); 3]; 2];
+        for p in 0..2 {
+            for m in 0..3 {
+                v[p][m] = lp.add_var(0.0, f64::INFINITY, costs[p][m]);
+            }
+        }
+        let caps = [20.0, 30.0];
+        for p in 0..2 {
+            lp.add_constraint((0..3).map(|m| (v[p][m], 1.0)).collect(), Sense::Le, caps[p]);
+        }
+        let demands = [10.0, 25.0, 15.0];
+        for m in 0..3 {
+            lp.add_constraint((0..2).map(|p| (v[p][m], 1.0)).collect(), Sense::Ge, demands[m]);
+        }
+        let s = solve(&lp);
+        assert!(s.is_optimal());
+        lp.check_feasible(&s.x, 1e-7).unwrap();
+        // LP duality check: obj = Σ y_i b_i.
+        let b = [20.0, 30.0, 10.0, 25.0, 15.0];
+        let dual_obj: f64 = s.duals.iter().zip(b).map(|(&d, bi)| d * bi).sum();
+        assert_close(dual_obj, s.objective, 1e-6);
+        // Optimal cost is 125: x[0][2]=15, x[0][0]=5, x[1][0]=5, x[1][1]=25.
+        assert_close(s.objective, 125.0, 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model evaluation: Table 5 / Table 8 metrics and the Figure 14
+//! per-link prediction-error distribution.
+
+use crate::Predictor;
+use prete_optical::DegradationEvent;
+use prete_stats::ConfusionMatrix;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A model's evaluation report (one Table 5 / Table 8 row).
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalReport {
+    /// Model label.
+    pub name: String,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// The underlying confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Evaluates a predictor on test events with the paper's positive
+/// definition ("a fail after degradation as positive").
+pub fn evaluate(name: &str, model: &dyn Predictor, test: &[&DegradationEvent]) -> EvalReport {
+    let mut cm = ConfusionMatrix::new();
+    for e in test {
+        cm.observe(model.predict(e), e.led_to_cut);
+    }
+    EvalReport {
+        name: name.to_string(),
+        precision: cm.precision(),
+        recall: cm.recall(),
+        f1: cm.f1(),
+        accuracy: cm.accuracy(),
+        confusion: cm,
+    }
+}
+
+/// Figure 14: per-link prediction error — for each fiber with test
+/// events, the absolute difference between the model's mean predicted
+/// failure probability and the empirical failure rate.
+pub fn per_link_error(model: &dyn Predictor, test: &[&DegradationEvent]) -> Vec<f64> {
+    let mut by_fiber: HashMap<usize, (f64, usize, usize)> = HashMap::new();
+    for e in test {
+        let entry = by_fiber.entry(e.features.fiber_id).or_insert((0.0, 0, 0));
+        entry.0 += model.predict_proba(e);
+        entry.1 += 1;
+        if e.led_to_cut {
+            entry.2 += 1;
+        }
+    }
+    let mut errors: Vec<f64> = by_fiber
+        .values()
+        .map(|&(psum, n, pos)| (psum / n as f64 - pos as f64 / n as f64).abs())
+        .collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::TeaVarModel;
+    use prete_optical::DegradationFeatures;
+    use prete_topology::FiberId;
+
+    fn event(fiber: usize, cut: bool) -> DegradationEvent {
+        DegradationEvent {
+            fiber: FiberId(fiber),
+            start_s: 0,
+            duration_s: 5,
+            features: DegradationFeatures {
+                hour: 0,
+                degree_db: 5.0,
+                gradient_db: 0.1,
+                fluctuation: 2,
+                region: 0,
+                fiber_id: fiber,
+                length_km: 100.0,
+                vendor: 0,
+            },
+            led_to_cut: cut,
+            cut_delay_s: None,
+        }
+    }
+
+    /// A perfect predictor for testing.
+    struct Oracle;
+    impl Predictor for Oracle {
+        fn predict_proba(&self, e: &DegradationEvent) -> f64 {
+            if e.led_to_cut {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let evs: Vec<DegradationEvent> = (0..10).map(|i| event(i % 2, i % 3 == 0)).collect();
+        let refs: Vec<&DegradationEvent> = evs.iter().collect();
+        let r = evaluate("oracle", &Oracle, &refs);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.accuracy, 1.0);
+    }
+
+    #[test]
+    fn teavar_has_zero_pr_on_positives() {
+        // Table 5: TeaVar row is ≈ 0 / ≈ 0.
+        let evs: Vec<DegradationEvent> = (0..10).map(|i| event(0, i < 4)).collect();
+        let refs: Vec<&DegradationEvent> = evs.iter().collect();
+        let r = evaluate("teavar", &TeaVarModel::new(0.001), &refs);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+    }
+
+    #[test]
+    fn per_link_error_zero_for_oracle() {
+        let evs: Vec<DegradationEvent> = (0..20).map(|i| event(i % 4, i % 2 == 0)).collect();
+        let refs: Vec<&DegradationEvent> = evs.iter().collect();
+        // Oracle's mean proba per fiber equals the empirical rate.
+        let errs = per_link_error(&Oracle, &refs);
+        assert_eq!(errs.len(), 4);
+        assert!(errs.iter().all(|&e| e < 1e-12));
+    }
+
+    #[test]
+    fn per_link_error_large_for_teavar() {
+        // All events on a fiber fail → TeaVar error ≈ 1.
+        let evs: Vec<DegradationEvent> = (0..5).map(|_| event(0, true)).collect();
+        let refs: Vec<&DegradationEvent> = evs.iter().collect();
+        let errs = per_link_error(&TeaVarModel::new(0.001), &refs);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0] > 0.99);
+    }
+}

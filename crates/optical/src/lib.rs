@@ -1,0 +1,40 @@
+//! Optical-layer telemetry substrate.
+//!
+//! The paper's measurement study (§2.1, §3) rests on a one-year,
+//! one-second-granularity optical telemetry deployment (an OpTel-style
+//! system) at Tencent's production WAN. That data is confidential, so
+//! this crate implements a *synthetic telemetry generator* that
+//! reproduces every distribution the paper reports, plus the detection
+//! pipeline a real deployment would run:
+//!
+//! * [`state`] — the healthy / degraded / cut state machine with the
+//!   paper's thresholds (degradation = 3–10 dB loss increase, cut =
+//!   ≥ 10 dB, §2.1/§3.1);
+//! * [`model`] — the statistical failure model: Weibull per-fiber
+//!   degradation probabilities (shape 0.8 scale 0.002, §6.1), the
+//!   linear degradation↔cut relation of Figure 12(a), `α = 25 %`
+//!   predictable cuts, `P(cut | degradation) ≈ 40 %`, and the
+//!   feature-conditional ground-truth failure probability behind
+//!   Figure 6;
+//! * [`events`] — degradation / cut event records and their §3.2
+//!   features (time, degree, gradient, fluctuation + intrinsics);
+//! * [`trace`] — per-second loss-series synthesis, missing-sample
+//!   interpolation, granularity downsampling (Appendix A.8) and the
+//!   threshold detector that recovers events from raw traces;
+//! * [`dataset`] — a simulated year of labelled degradation events for
+//!   NN training (80/20 chronological split per fiber, Appendix A.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod events;
+pub mod model;
+pub mod state;
+pub mod trace;
+
+pub use dataset::{Dataset, DatasetConfig};
+pub use events::{CutEvent, DegradationEvent, DegradationFeatures};
+pub use model::{FailureModel, FiberProfile, ALPHA_PREDICTABLE, MEAN_CUT_GIVEN_DEGRADATION};
+pub use state::{classify_excess, FiberState, CUT_THRESHOLD_DB, DEGRADATION_THRESHOLD_DB};
+pub use trace::{LossTrace, TraceConfig};

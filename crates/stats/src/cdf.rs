@@ -1,0 +1,148 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Half the paper's figures are CDFs (lost capacity Fig. 1(b),
+//! degradation length Fig. 4(a), degradation→cut delay Fig. 5(a),
+//! degradation probability Fig. 12(b), prediction error Fig. 14). This
+//! module provides a small, exact ECDF over `f64` samples.
+
+/// An empirical CDF built from a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the ECDF from a sample.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or contains non-finite values.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF needs at least one sample");
+        assert!(samples.iter().all(|v| v.is_finite()), "non-finite sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x) = P(X <= x)`, the fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point: number of elements <= x.
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Returns `(x, F(x))` pairs at each distinct sample point —
+    /// directly plottable as a CDF curve.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+
+    /// Evaluates the CDF at `points` evenly spaced values spanning the
+    /// sample range — a fixed-resolution curve for figure output.
+    pub fn sampled_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        let (lo, hi) = (self.min(), self.max());
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let cdf = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.median(), 50.0);
+        assert_eq!(cdf.quantile(0.9), 90.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let cdf = EmpiricalCdf::new(vec![5.0, 5.0, 1.0, 3.0]);
+        let c = cdf.curve();
+        assert_eq!(c.last().unwrap().1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // duplicate 5.0 collapses to a single point with the final mass
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn sampled_curve_has_requested_resolution() {
+        let cdf = EmpiricalCdf::new(vec![0.0, 1.0, 2.0, 10.0]);
+        let c = cdf.sampled_curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 10.0);
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_panics() {
+        let _ = EmpiricalCdf::new(vec![]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistical substrate for the PreTE reproduction.
+//!
+//! The PreTE paper (SIGCOMM 2025) leans on a handful of classical
+//! statistical tools to *evidence* that fiber cuts are predictable:
+//!
+//! * chi-square independence tests on contingency tables (§3.1, §3.2,
+//!   Tables 1, 6 and 7) — implemented in [`chi2`];
+//! * equal-width binning of continuous degradation features before the
+//!   test (§3.2) — implemented in [`binning`];
+//! * Weibull-distributed per-fiber degradation probabilities and
+//!   geometric inter-failure models (§4.1.2, §6.1, Figure 12(b)) —
+//!   implemented in [`dist`];
+//! * empirical CDFs for the many distribution figures (Figures 1(b),
+//!   4(a), 5(a), 12(b), 14) — implemented in [`cdf`];
+//! * precision / recall / F1 / accuracy for the prediction-model
+//!   comparison (Table 5, Table 8) — implemented in [`metrics`].
+//!
+//! Everything is implemented from scratch on top of `f64` so the rest of
+//! the workspace has no dependency on external numerics crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod cdf;
+pub mod chi2;
+pub mod dist;
+pub mod metrics;
+pub mod special;
+pub mod summary;
+
+pub use binning::{equal_width_bins, Binned};
+pub use cdf::EmpiricalCdf;
+pub use chi2::{chi2_independence, ChiSquareResult, ContingencyTable};
+pub use dist::{Geometric, Weibull};
+pub use metrics::ConfusionMatrix;
+pub use summary::Summary;

@@ -1,0 +1,242 @@
+//! Special functions needed by the statistical tests.
+//!
+//! The chi-square survival function is `Q(k/2, x/2)` where `Q` is the
+//! regularized upper incomplete gamma function. We implement `ln Γ`
+//! (Lanczos approximation) and the regularized incomplete gamma pair
+//! `P`/`Q` using the standard series / continued-fraction split from
+//! *Numerical Recipes*. Accuracy is ~1e-12 over the ranges exercised by
+//! the paper's tests (degrees of freedom up to a few dozen, statistics
+//! up to a few hundred).
+
+/// Natural log of the gamma function, via the Lanczos approximation.
+///
+/// Valid for `x > 0`. Panics in debug builds on non-positive input.
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7, n = 9), good to ~1e-14.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)`, with `P(a, 0) = 0` and `P(a, ∞) = 1`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion for `P(a, x)`, converges quickly for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued fraction (modified Lentz) for `Q(a, x)`, for `x >= a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: `P(X >= stat)`.
+///
+/// This is the p-value of a chi-square test with statistic `stat`.
+pub fn chi2_sf(stat: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if stat <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(df / 2.0, stat / 2.0)
+}
+
+/// Natural log of the chi-square survival function.
+///
+/// The paper reports p-values as small as 1e-50 (§3.1), far below what a
+/// plain `f64` subtraction `1 - P` can resolve; the continued fraction
+/// computes `Q` directly so extremely small p-values stay meaningful,
+/// and this helper exposes them on a log scale for reporting.
+pub fn chi2_ln_sf(stat: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    if stat <= 0.0 {
+        return 0.0;
+    }
+    let a = df / 2.0;
+    let x = stat / 2.0;
+    if x < a + 1.0 {
+        return chi2_sf(stat, df).max(f64::MIN_POSITIVE).ln();
+    }
+    // ln Q from the continued fraction pieces: Q = h * exp(-x + a ln x - lnΓ(a)).
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h.ln() - x + a * x.ln() - ln_gamma(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert_close(ln_gamma(n as f64), fact.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one() {
+        for &a in &[0.5, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0, 80.0] {
+                assert_close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // df=1, x=3.841 → p ≈ 0.05 (classic critical value).
+        assert_close(chi2_sf(3.841, 1.0), 0.05, 5e-4);
+        // df=2: sf(x) = exp(-x/2) exactly.
+        for &x in &[0.5, 1.0, 4.0, 10.0] {
+            assert_close(chi2_sf(x, 2.0), (-x / 2.0f64).exp(), 1e-12);
+        }
+        // df=10, x=18.307 → p ≈ 0.05.
+        assert_close(chi2_sf(18.307, 10.0), 0.05, 5e-4);
+    }
+
+    #[test]
+    fn chi2_ln_sf_matches_sf_in_normal_range() {
+        for &(x, df) in &[(3.0, 1.0), (10.0, 4.0), (25.0, 10.0)] {
+            assert_close(chi2_ln_sf(x, df), chi2_sf(x, df).ln(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn chi2_ln_sf_handles_extreme_statistics() {
+        // df=1, huge statistic: p-value far below f64::MIN_POSITIVE is
+        // still finite on the log scale (the paper cites p < 1e-50).
+        let ln_p = chi2_ln_sf(500.0, 1.0);
+        assert!(ln_p < -200.0, "expected tiny tail, got ln p = {ln_p}");
+        assert!(ln_p.is_finite());
+    }
+
+    #[test]
+    fn sf_monotone_in_statistic() {
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let p = chi2_sf(i as f64 * 0.5, 3.0);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! WAN topology substrate for the PreTE reproduction.
+//!
+//! Models the two-layer network of the paper (§2, §4.2):
+//!
+//! * an **optical layer** of fibers between sites — the entities that
+//!   degrade and get cut;
+//! * an **IP layer** of links riding on one or more fibers — a fiber cut
+//!   simultaneously removes every IP link mapped onto it, which is why a
+//!   single cut loses multiple Tbps of IP capacity (Figure 1(b)) and
+//!   affects a large fraction of flows and tunnels (Figure 1(c)).
+//!
+//! On top of the graph, the crate provides the path machinery the paper
+//! uses for tunnel initialization (§4.2): Yen's k-shortest paths and
+//! fiber-disjoint routing, plus shortest-path search in a fiber-deleted
+//! subgraph for Algorithm 1's reactive tunnel establishment.
+//!
+//! The three evaluation topologies of Table 3 are provided by
+//! [`topologies::b4`], [`topologies::ibm`] and [`topologies::twan`],
+//! matching the table's fiber / IP-link / tunnel counts, and
+//! [`traffic`] generates the 24 gravity-model traffic matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod ids;
+pub mod paths;
+pub mod topologies;
+pub mod traffic;
+pub mod tunnels;
+
+pub use graph::{Fiber, IpLink, Network, NetworkBuilder, Site};
+pub use ids::{FiberId, FlowId, LinkId, SiteId, TunnelId};
+pub use paths::{fiber_disjoint_paths, k_shortest_paths, shortest_path};
+pub use traffic::{Flow, TrafficMatrix};
+pub use tunnels::{Tunnel, TunnelSet};

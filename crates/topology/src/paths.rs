@@ -1,0 +1,390 @@
+//! Path-finding over the IP layer.
+//!
+//! §4.2: *"We use both k-shortest path routing and fiber-disjoint
+//! routing algorithms to establish tunnels over the IP layer topology"*.
+//! This module provides:
+//!
+//! * [`shortest_path`] — Dijkstra over site hops with optional banned
+//!   fibers (Algorithm 1 deletes the degraded link from the graph before
+//!   searching);
+//! * [`k_shortest_paths`] — Yen's algorithm for loop-free k-shortest
+//!   paths;
+//! * [`fiber_disjoint_paths`] — iterated shortest paths, removing the
+//!   fibers of each accepted path so later paths share no span with it.
+//!
+//! Paths are site sequences; edge weights are fiber kilometres (summed
+//! over the spans of the chosen IP link) with a small per-hop constant,
+//! so shorter physical routes win and hop count breaks ties.
+
+use crate::graph::Network;
+use crate::ids::{FiberId, LinkId, SiteId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A path through the IP layer: the site sequence plus the links used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Visited sites, from source to destination inclusive.
+    pub sites: Vec<SiteId>,
+    /// Links traversed, `sites.len() - 1` of them.
+    pub links: Vec<LinkId>,
+    /// Total weight (km + hop penalty).
+    pub weight: f64,
+}
+
+impl Path {
+    /// Source site.
+    pub fn src(&self) -> SiteId {
+        *self.sites.first().expect("non-empty path")
+    }
+
+    /// Destination site.
+    pub fn dst(&self) -> SiteId {
+        *self.sites.last().expect("non-empty path")
+    }
+
+    /// Number of hops (links).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The set of fibers this path traverses.
+    pub fn fibers(&self, net: &Network) -> HashSet<FiberId> {
+        self.links
+            .iter()
+            .flat_map(|&l| net.link(l).fibers.iter().copied())
+            .collect()
+    }
+
+    /// Whether this path traverses fiber `f`.
+    pub fn uses_fiber(&self, net: &Network, f: FiberId) -> bool {
+        self.links.iter().any(|&l| net.link(l).uses_fiber(f))
+    }
+}
+
+/// Weight of traversing `link`: physical kilometres plus a constant to
+/// prefer fewer hops among equal-length routes.
+fn link_weight(net: &Network, link: LinkId) -> f64 {
+    const HOP_PENALTY_KM: f64 = 1.0;
+    net.link(link)
+        .fibers
+        .iter()
+        .map(|&f| net.fiber(f).length_km)
+        .sum::<f64>()
+        + HOP_PENALTY_KM
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    site: SiteId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken by site id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite weights")
+            .then_with(|| other.site.cmp(&self.site))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `src` to `dst`, ignoring any link that
+/// rides on a banned fiber, any banned directed site-move, or any
+/// banned site.
+///
+/// Moves (not links) are banned because parallel wavelength links
+/// between the same site pair are interchangeable from a routing
+/// perspective: banning one link would just select its twin and
+/// produce the same site route again (the classic Yen-with-multigraph
+/// pitfall). Among parallel links the lowest-ID one is used.
+///
+/// Returns `None` when `dst` is unreachable under the bans.
+pub fn shortest_path_avoiding(
+    net: &Network,
+    src: SiteId,
+    dst: SiteId,
+    banned_fibers: &HashSet<FiberId>,
+    banned_moves: &HashSet<(SiteId, SiteId)>,
+    banned_sites: &HashSet<SiteId>,
+) -> Option<Path> {
+    assert_ne!(src, dst, "path endpoints must differ");
+    let n = net.num_sites();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(SiteId, LinkId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, site: src });
+    while let Some(HeapEntry { dist: d, site }) = heap.pop() {
+        if d > dist[site.index()] {
+            continue;
+        }
+        if site == dst {
+            break;
+        }
+        for &(next, link) in net.neighbors(site) {
+            if banned_moves.contains(&(site, next))
+                || banned_sites.contains(&next)
+                || net.link(link).fibers.iter().any(|f| banned_fibers.contains(f))
+            {
+                continue;
+            }
+            let nd = d + link_weight(net, link);
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                prev[next.index()] = Some((site, link));
+                heap.push(HeapEntry { dist: nd, site: next });
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut sites = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = prev[cur.index()].expect("reachable node has predecessor");
+        sites.push(p);
+        links.push(l);
+        cur = p;
+    }
+    sites.reverse();
+    links.reverse();
+    Some(Path { sites, links, weight: dist[dst.index()] })
+}
+
+/// Plain shortest path (no bans).
+pub fn shortest_path(net: &Network, src: SiteId, dst: SiteId) -> Option<Path> {
+    shortest_path_avoiding(
+        net,
+        src,
+        dst,
+        &HashSet::new(),
+        &HashSet::new(),
+        &HashSet::new(),
+    )
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths from `src` to
+/// `dst`, sorted by weight. Optionally avoids `banned_fibers` entirely
+/// (used by Algorithm 1 to route around a degraded fiber).
+pub fn k_shortest_paths_avoiding(
+    net: &Network,
+    src: SiteId,
+    dst: SiteId,
+    k: usize,
+    banned_fibers: &HashSet<FiberId>,
+) -> Vec<Path> {
+    assert!(k >= 1, "k must be >= 1");
+    let Some(first) =
+        shortest_path_avoiding(net, src, dst, banned_fibers, &HashSet::new(), &HashSet::new())
+    else {
+        return Vec::new();
+    };
+    let mut result = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+    while result.len() < k {
+        let last = result.last().expect("at least one accepted path").clone();
+        // For each spur node in the previous path, ban the deviating
+        // edges of all accepted paths sharing the root, and the root's
+        // interior sites, then search for a spur path.
+        for i in 0..last.sites.len() - 1 {
+            let spur = last.sites[i];
+            let root_sites = &last.sites[..=i];
+            let root_links = &last.links[..i];
+            // Ban the site-moves previously taken from this spur node
+            // by paths sharing the root (parallel links are one move).
+            let mut banned_moves: HashSet<(SiteId, SiteId)> = HashSet::new();
+            for p in &result {
+                if p.sites.len() > i + 1 && p.sites[..=i] == *root_sites {
+                    banned_moves.insert((p.sites[i], p.sites[i + 1]));
+                }
+            }
+            let banned_sites: HashSet<SiteId> =
+                root_sites[..root_sites.len() - 1].iter().copied().collect();
+            if let Some(spur_path) = shortest_path_avoiding(
+                net,
+                spur,
+                dst,
+                banned_fibers,
+                &banned_moves,
+                &banned_sites,
+            ) {
+                let mut sites = root_sites.to_vec();
+                sites.extend_from_slice(&spur_path.sites[1..]);
+                let mut links = root_links.to_vec();
+                links.extend_from_slice(&spur_path.links);
+                let weight = links.iter().map(|&l| link_weight(net, l)).sum();
+                let cand = Path { sites, links, weight };
+                let dup = result.iter().chain(candidates.iter()).any(|p| p.sites == cand.sites);
+                if !dup {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the lightest candidate (deterministic tie-break on sites).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, x), (_, y)| {
+                x.weight
+                    .partial_cmp(&y.weight)
+                    .expect("finite")
+                    .then_with(|| x.sites.cmp(&y.sites))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        result.push(candidates.swap_remove(best));
+    }
+    result
+}
+
+/// Yen's k-shortest paths without fiber bans.
+pub fn k_shortest_paths(net: &Network, src: SiteId, dst: SiteId, k: usize) -> Vec<Path> {
+    k_shortest_paths_avoiding(net, src, dst, k, &HashSet::new())
+}
+
+/// Greedy fiber-disjoint routing: repeatedly takes the shortest path,
+/// then removes its fibers before searching for the next, so no two
+/// returned paths share a fiber span. Returns at most `k` paths.
+pub fn fiber_disjoint_paths(net: &Network, src: SiteId, dst: SiteId, k: usize) -> Vec<Path> {
+    assert!(k >= 1);
+    let mut banned: HashSet<FiberId> = HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < k {
+        let Some(p) = shortest_path_avoiding(
+            net,
+            src,
+            dst,
+            &banned,
+            &HashSet::new(),
+            &HashSet::new(),
+        ) else {
+            break;
+        };
+        banned.extend(p.fibers(net));
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+
+    /// 4-site diamond: s0—s1—s3 (short) and s0—s2—s3 (long), plus a
+    /// direct long fiber s0—s3.
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new("diamond");
+        let s0 = b.site("s0", 0);
+        let s1 = b.site("s1", 0);
+        let s2 = b.site("s2", 0);
+        let s3 = b.site("s3", 0);
+        let f01 = b.fiber(s0, s1, 10.0, 0);
+        let f13 = b.fiber(s1, s3, 10.0, 0);
+        let f02 = b.fiber(s0, s2, 20.0, 0);
+        let f23 = b.fiber(s2, s3, 20.0, 0);
+        let f03 = b.fiber(s0, s3, 100.0, 0);
+        for f in [f01, f13, f02, f23, f03] {
+            b.link_on(f, 100.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shortest_takes_short_route() {
+        let n = diamond();
+        let p = shortest_path(&n, SiteId(0), SiteId(3)).unwrap();
+        assert_eq!(p.sites, vec![SiteId(0), SiteId(1), SiteId(3)]);
+        assert_eq!(p.hops(), 2);
+        assert!((p.weight - 22.0).abs() < 1e-9); // 10+10 km + 2 hop penalties
+    }
+
+    #[test]
+    fn yen_orders_by_weight() {
+        let n = diamond();
+        let ps = k_shortest_paths(&n, SiteId(0), SiteId(3), 3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].sites, vec![SiteId(0), SiteId(1), SiteId(3)]);
+        assert_eq!(ps[1].sites, vec![SiteId(0), SiteId(2), SiteId(3)]);
+        assert_eq!(ps[2].sites, vec![SiteId(0), SiteId(3)]);
+        assert!(ps[0].weight <= ps[1].weight && ps[1].weight <= ps[2].weight);
+    }
+
+    #[test]
+    fn yen_paths_are_loop_free_and_distinct() {
+        let n = diamond();
+        let ps = k_shortest_paths(&n, SiteId(0), SiteId(3), 10);
+        assert_eq!(ps.len(), 3, "diamond has exactly 3 simple s0→s3 paths");
+        for p in &ps {
+            let mut seen = HashSet::new();
+            assert!(p.sites.iter().all(|s| seen.insert(*s)), "loop in {:?}", p.sites);
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_share_no_fiber() {
+        let n = diamond();
+        let ps = fiber_disjoint_paths(&n, SiteId(0), SiteId(3), 5);
+        assert_eq!(ps.len(), 3);
+        let mut all = HashSet::new();
+        for p in &ps {
+            for f in p.fibers(&n) {
+                assert!(all.insert(f), "fiber {f} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_fiber_routes_around() {
+        let n = diamond();
+        let banned: HashSet<FiberId> = [FiberId(0)].into_iter().collect(); // s0—s1
+        let p = shortest_path_avoiding(
+            &n,
+            SiteId(0),
+            SiteId(3),
+            &banned,
+            &HashSet::new(),
+            &HashSet::new(),
+        )
+        .unwrap();
+        assert!(!p.uses_fiber(&n, FiberId(0)));
+        assert_eq!(p.sites, vec![SiteId(0), SiteId(2), SiteId(3)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = NetworkBuilder::new("pair");
+        let s0 = b.site("s0", 0);
+        let s1 = b.site("s1", 0);
+        let f = b.fiber(s0, s1, 5.0, 0);
+        b.link_on(f, 10.0);
+        let n = b.build();
+        let banned: HashSet<FiberId> = [f].into_iter().collect();
+        assert!(shortest_path_avoiding(
+            &n,
+            s0,
+            s1,
+            &banned,
+            &HashSet::new(),
+            &HashSet::new()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! The §7 production case (Figure 18): four sites, 1000 Gbps links.
+//!
+//! A fiber under IP link s1s3 degrades for tens of seconds and then
+//! cuts. The traditional system switches to the static backup
+//! s1→s2→s3, which only has 300 Gbps of headroom for 600 Gbps of
+//! traffic — packets keep dropping until the next TE period. PreTE
+//! sees the degradation, pre-establishes s1→s4→s3 (700 Gbps headroom)
+//! and switches over with no sustained loss.
+//!
+//! Run with: `cargo run --example production_case`
+
+use prete_sim::production::{replay_production_case, ProductionScenario};
+
+fn main() {
+    let scenario = ProductionScenario::default();
+    println!(
+        "Incident: fiber under s1s3 degrades {:.0} s before cutting; \
+         next TE period in {:.0} s\n",
+        scenario.degradation_lead_s, scenario.next_te_period_s
+    );
+    let out = replay_production_case(scenario);
+    for s in [&out.traditional, &out.prete] {
+        println!("{}:", s.system);
+        println!("  backup path      : {}", s.backup_path.join(" → "));
+        println!("  sustained loss   : {:.0} Gbps", s.sustained_loss_gbps);
+        println!("  loss duration    : {:.2} s", s.loss_duration_s);
+        println!("  total lost       : {:.1} Gb\n", s.total_lost_gb);
+    }
+    let factor = out.traditional.total_lost_gb / out.prete.total_lost_gb.max(1e-9);
+    println!("PreTE loses {factor:.0}× less traffic than the traditional system.");
+}

@@ -1,0 +1,247 @@
+//! Property-based tests on the core data structures and solver
+//! invariants (proptest).
+
+use prete_core::capacity::CapacityGroups;
+use prete_core::scenario::ScenarioSet;
+use prete_lp::{solve, LinearProgram, Sense, SolveStatus};
+use prete_stats::{equal_width_bins, EmpiricalCdf, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any optimal LP solution is primal-feasible and satisfies strong
+    /// duality (obj = y·b for problems with zero lower bounds and no
+    /// upper bounds).
+    #[test]
+    fn lp_optimal_solutions_are_feasible_and_tight(
+        c in prop::collection::vec(-5.0f64..5.0, 2..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..4.0, 5), 1.0f64..20.0),
+            1..5
+        ),
+    ) {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = c.iter().map(|&ci| lp.add_var(0.0, f64::INFINITY, ci)).collect();
+        let mut rhs = Vec::new();
+        for (coeffs, b) in &rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .map(|(&v, &a)| (v, a))
+                .collect();
+            lp.add_constraint(terms, Sense::Le, *b);
+            rhs.push(*b);
+        }
+        let s = solve(&lp);
+        // All-≤ rows with b > 0 and x ≥ 0: x = 0 is feasible, so the
+        // problem is never infeasible; it may be unbounded when some
+        // objective coefficient is negative and unconstrained.
+        prop_assert!(s.status == SolveStatus::Optimal || s.status == SolveStatus::Unbounded);
+        if s.status == SolveStatus::Optimal {
+            prop_assert!(lp.check_feasible(&s.x, 1e-6).is_ok());
+            let dual_obj: f64 = s.duals.iter().zip(&rhs).map(|(&d, &b)| d * b).sum();
+            prop_assert!((dual_obj - s.objective).abs() < 1e-5,
+                "duality gap: {} vs {}", dual_obj, s.objective);
+            // Objective can never beat the trivially feasible origin by
+            // the wrong sign: obj <= 0 since x = 0 gives 0.
+            prop_assert!(s.objective <= 1e-9);
+        }
+    }
+
+    /// Scenario enumeration produces valid probabilities that never
+    /// exceed total mass 1, with the no-failure scenario first.
+    #[test]
+    fn scenario_sets_are_probability_like(
+        probs in prop::collection::vec(0.0f64..0.3, 1..8),
+        max_cuts in 1usize..3,
+    ) {
+        let s = ScenarioSet::enumerate(&probs, max_cuts, 0.0);
+        prop_assert!(s.scenarios[0].is_no_failure() || probs.iter().any(|&p| p >= 1.0));
+        prop_assert!(s.covered_mass() <= 1.0 + 1e-9);
+        for q in &s.scenarios {
+            prop_assert!(q.prob >= 0.0 && q.prob <= 1.0);
+            // Cut sets are sorted and deduplicated.
+            for w in q.cut.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+        // Singles are ordered by decreasing probability after the
+        // no-failure scenario.
+        let singles: Vec<f64> = s
+            .scenarios
+            .iter()
+            .skip(1)
+            .filter(|q| q.cut.len() == 1)
+            .map(|q| q.prob)
+            .collect();
+        for w in singles.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// The ECDF is a valid distribution function: monotone, in [0,1],
+    /// 0 below the minimum, 1 at the maximum.
+    #[test]
+    fn ecdf_is_a_distribution(samples in prop::collection::vec(-100.0f64..100.0, 1..60)) {
+        let cdf = EmpiricalCdf::new(samples.clone());
+        prop_assert!(cdf.eval(cdf.min() - 1.0) == 0.0);
+        prop_assert!((cdf.eval(cdf.max()) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in -10..=10 {
+            let x = i as f64 * 10.0;
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y + 1e-12 >= prev);
+            prev = y;
+        }
+        // Quantile inverts eval up to the sample grid.
+        let q = cdf.quantile(0.5);
+        prop_assert!(cdf.eval(q) >= 0.5);
+    }
+
+    /// Equal-width binning conserves counts and assigns in range.
+    #[test]
+    fn binning_conserves_mass(
+        values in prop::collection::vec(-50.0f64..50.0, 1..80),
+        bins in 1usize..12,
+    ) {
+        let b = equal_width_bins(&values, bins);
+        prop_assert_eq!(b.counts.iter().sum::<usize>(), values.len());
+        prop_assert_eq!(b.assignment.len(), values.len());
+        for &a in &b.assignment {
+            prop_assert!(a < bins);
+        }
+    }
+
+    /// Welford summaries match naive two-pass statistics.
+    #[test]
+    fn summary_matches_naive(values in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let s = Summary::of(&values);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        prop_assert!((s.variance() - var).abs() < 1e-4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Capacity groups partition the links and conserve capacity, on
+    /// randomly chosen evaluation topologies.
+    #[test]
+    fn capacity_groups_partition(which in 0usize..3) {
+        let net = match which {
+            0 => prete_topology::topologies::b4(),
+            1 => prete_topology::topologies::ibm(),
+            _ => prete_topology::topologies::twan(),
+        };
+        let g = CapacityGroups::build(&net);
+        let total: f64 = (0..g.len()).map(|i| g.capacity(i)).sum();
+        prop_assert!((total - net.total_capacity()).abs() < 1e-6);
+        for l in net.links() {
+            prop_assert!(g.group_of(l.id) < g.len());
+        }
+    }
+
+    /// Tunnel survival is monotone: adding fibers to a cut never
+    /// resurrects a tunnel.
+    #[test]
+    fn tunnel_survival_monotone(seed in 0u64..50) {
+        let net = prete_topology::topologies::b4();
+        let flows = prete_topology::topologies::flows_for(&net, 0.1, seed);
+        let ts = prete_topology::TunnelSet::initialize(&net, &flows[..8.min(flows.len())], 4);
+        let f1 = prete_topology::FiberId((seed % 19) as usize);
+        let f2 = prete_topology::FiberId(((seed + 7) % 19) as usize);
+        for t in ts.tunnels() {
+            let alive_small = t.survives(&net, &[f1]);
+            let alive_big = t.survives(&net, &[f1, f2]);
+            // big cut ⊇ small cut → survival can only go down.
+            prop_assert!(!alive_big || alive_small);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The TE solvers agree on the triangle across random probability
+    /// vectors: branch-and-bound is optimal, Benders matches it, the
+    /// greedy heuristic upper-bounds it, and every allocation respects
+    /// trunk capacities.
+    #[test]
+    fn te_solver_hierarchy(
+        p0 in 0.001f64..0.05,
+        p1 in 0.001f64..0.05,
+        p2 in 0.001f64..0.05,
+        beta in 0.95f64..0.999,
+    ) {
+        use prete_core::examples::{triangle, triangle_flows};
+        use prete_core::optimizer::{solve_te, SolveMethod, TeProblem};
+        use prete_core::scenario::ScenarioSet;
+        use prete_topology::TunnelSet;
+
+        let net = triangle();
+        let flows = triangle_flows();
+        let tunnels = TunnelSet::initialize(&net, &flows, 2);
+        let scenarios = ScenarioSet::enumerate(&[p0, p1, p2], 2, 0.0);
+        let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+
+        let exact = solve_te(&problem, beta, SolveMethod::BranchAndBound);
+        let benders = solve_te(&problem, beta, SolveMethod::benders());
+        let heuristic = solve_te(&problem, beta, SolveMethod::Heuristic);
+
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&exact.max_loss));
+        prop_assert!(benders.max_loss >= exact.max_loss - 1e-4,
+            "benders {} below exact {}", benders.max_loss, exact.max_loss);
+        prop_assert!(benders.max_loss <= exact.max_loss + 1e-3,
+            "benders {} above exact {}", benders.max_loss, exact.max_loss);
+        prop_assert!(heuristic.max_loss >= exact.max_loss - 1e-6,
+            "heuristic {} below exact {}", heuristic.max_loss, exact.max_loss);
+
+        // Capacity feasibility for all three allocations.
+        let groups = prete_core::capacity::CapacityGroups::build(&net);
+        for sol in [&exact, &benders, &heuristic] {
+            let mut load = vec![0.0; groups.len()];
+            for t in tunnels.tunnels() {
+                for g in groups.groups_of_path(&t.path.links) {
+                    load[g] += sol.allocation[t.id.index()];
+                }
+            }
+            for (g, &l) in load.iter().enumerate() {
+                prop_assert!(l <= groups.capacity(g) + 1e-5, "group {}: {}", g, l);
+            }
+            // Losses are normalized.
+            for f in 0..flows.len() {
+                for q in 0..scenarios.len() {
+                    let l = sol.loss(&problem, f, q);
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&l));
+                }
+            }
+        }
+    }
+
+    /// Eqn 1 calibration: dynamic probabilities are the conditional on
+    /// the degraded fiber and strictly discounted elsewhere.
+    #[test]
+    fn eqn1_calibration_invariants(fiber in 0usize..19, alpha in 0.0f64..1.0) {
+        use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+        use prete_core::scenario::DegradationState;
+        use prete_optical::FailureModel;
+        use prete_topology::{topologies, FiberId};
+
+        let net = topologies::b4();
+        let model = FailureModel::new(&net, 42);
+        let truth = TrueConditionals::ground_truth(&net, &model, 20, 1);
+        let est = ProbabilityEstimator::dynamic(&model, &truth, alpha);
+        let state = DegradationState::single(FiberId(fiber));
+        let p = est.probabilities(&state);
+        prop_assert_eq!(p[fiber], truth.per_fiber[fiber]);
+        for (n, prof) in model.profiles().iter().enumerate() {
+            if n != fiber {
+                prop_assert!((p[n] - (1.0 - alpha) * prof.p_cut).abs() < 1e-12);
+            }
+            prop_assert!((0.0..=1.0).contains(&p[n]));
+        }
+    }
+}
