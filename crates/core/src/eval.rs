@@ -259,7 +259,7 @@ impl<'a> AvailabilityEvaluator<'a> {
             if q.prob <= 0.0 {
                 continue;
             }
-            for f in 0..self.flows.len() {
+            for (f, acc) in unavail.iter_mut().enumerate().take(self.flows.len()) {
                 let u = self.outage_fraction(
                     scheme,
                     plan,
@@ -269,7 +269,7 @@ impl<'a> AvailabilityEvaluator<'a> {
                     &mut recompute_cache,
                 );
                 if u > 0.0 {
-                    unavail[f] += weight * q.prob * u;
+                    *acc += weight * q.prob * u;
                 }
             }
         }

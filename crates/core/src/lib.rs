@@ -71,7 +71,9 @@ pub mod prelude {
     pub use crate::estimator::{ProbabilityEstimator, TrueConditionals};
     pub use crate::eval::{AvailabilityEvaluator, AvailabilityReport, EvalConfig};
     pub use crate::gain::max_supported_scale;
-    pub use crate::optimizer::{solve_te, SolveMethod, TeProblem, TeSolution};
+    pub use crate::optimizer::{
+        solve_te, try_solve_te, SolveBudget, SolveMethod, TeProblem, TeSolution, TeSolveError,
+    };
     pub use crate::scenario::{DegradationState, FailureScenario, ScenarioSet};
     pub use crate::schemes::{
         ArrowScheme, EcmpScheme, FfcScheme, FlexileScheme, PreTeScheme, TeScheme,

@@ -190,6 +190,111 @@ pub fn solve_te(problem: &TeProblem<'_>, beta: f64, method: SolveMethod) -> TeSo
     }
 }
 
+/// Deterministic work budget for a fallible TE solve.
+///
+/// Budgets are expressed in solver work units — branch-and-bound nodes
+/// and Benders iterations — rather than wall-clock time, so a replay
+/// with a fixed fault plan produces bit-identical results on any
+/// machine. The controller converts its wall-clock deadline into work
+/// units once, up front, via its latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum branch-and-bound nodes for a MIP solve.
+    pub max_mip_nodes: usize,
+    /// Maximum Benders master/subproblem iterations.
+    pub max_benders_iters: usize,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        Self { max_mip_nodes: 100_000, max_benders_iters: 50 }
+    }
+}
+
+impl SolveBudget {
+    /// A budget that is already spent — every budgeted solve fails
+    /// immediately with [`TeSolveError::BudgetExceeded`]. Used by fault
+    /// injection to model a solver that cannot meet its deadline.
+    pub fn exhausted() -> Self {
+        Self { max_mip_nodes: 0, max_benders_iters: 0 }
+    }
+}
+
+/// Why a budgeted TE solve produced no usable policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeSolveError {
+    /// The solver ran out of its work budget before proving optimality.
+    BudgetExceeded {
+        /// Work units consumed when the budget tripped (B&B nodes, or
+        /// Benders iterations for the decomposition path).
+        nodes: usize,
+    },
+    /// The program admits no feasible point (only possible for the
+    /// exact MIP; the LP relaxation used by the heuristic always admits
+    /// `Φ = 1`).
+    Infeasible,
+}
+
+impl std::fmt::Display for TeSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeSolveError::BudgetExceeded { nodes } => {
+                write!(f, "TE solve exceeded its work budget after {nodes} nodes")
+            }
+            TeSolveError::Infeasible => f.write_str("TE program is infeasible"),
+        }
+    }
+}
+
+impl std::error::Error for TeSolveError {}
+
+/// Solves the TE program under an explicit work budget, surfacing
+/// budget exhaustion and infeasibility as errors instead of panicking.
+///
+/// Semantics per method:
+/// * `Heuristic` — two LP solves, always feasible (`Φ = 1` is a valid
+///   point), so it only fails on a fully spent budget
+///   (`max_benders_iters == 0`, treated as "no solver work allowed").
+/// * `Benders` — the iteration cap is the tighter of the method's own
+///   `max_iters` and the budget's; a zero cap fails immediately,
+///   otherwise the incumbent after the capped loop is returned.
+/// * `BranchAndBound` — the exact MIP honours `max_mip_nodes` and
+///   reports `BudgetExceeded` / `Infeasible` instead of asserting.
+///
+/// # Panics
+/// Panics if `beta` is not in (0, 1) — a caller bug, not a runtime
+/// fault.
+pub fn try_solve_te(
+    problem: &TeProblem<'_>,
+    beta: f64,
+    method: SolveMethod,
+    budget: SolveBudget,
+) -> Result<TeSolution, TeSolveError> {
+    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+    match method {
+        SolveMethod::Heuristic => {
+            if budget.max_benders_iters == 0 && budget.max_mip_nodes == 0 {
+                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
+            }
+            Ok(solve_heuristic(problem, beta))
+        }
+        SolveMethod::Benders { eps, max_iters } => {
+            let cap = max_iters.min(budget.max_benders_iters);
+            if cap == 0 {
+                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
+            }
+            Ok(solve_benders(problem, beta, eps, cap))
+        }
+        SolveMethod::BranchAndBound => {
+            if budget.max_mip_nodes == 0 {
+                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
+            }
+            let opts = MipOptions { max_nodes: budget.max_mip_nodes, ..Default::default() };
+            solve_bnb_with(problem, beta, opts)
+        }
+    }
+}
+
 /// Per-flow greedy δ: scenario 0 plus affecting scenarios in decreasing
 /// probability until `p_0 + unaffecting + selected ≥ beta`.
 fn greedy_delta(problem: &TeProblem<'_>, beta: f64) -> Vec<Vec<usize>> {
@@ -520,6 +625,19 @@ fn solve_master(
 
 /// Full MIP via branch-and-bound: exact reference for small instances.
 fn solve_bnb(problem: &TeProblem<'_>, beta: f64) -> TeSolution {
+    match solve_bnb_with(problem, beta, MipOptions::default()) {
+        Ok(sol) => sol,
+        Err(e) => panic!("exact solve failed: {e:?}"),
+    }
+}
+
+/// Branch-and-bound under explicit [`MipOptions`], surfacing budget
+/// exhaustion and infeasibility instead of panicking.
+fn solve_bnb_with(
+    problem: &TeProblem<'_>,
+    beta: f64,
+    opts: MipOptions,
+) -> Result<TeSolution, TeSolveError> {
     let scen = &problem.scenarios.scenarios;
     let n_tunnels = problem.tunnels.len();
     let mut lp = LinearProgram::new();
@@ -565,8 +683,18 @@ fn solve_bnb(problem: &TeProblem<'_>, beta: f64) -> TeSolution {
         dvars.push(vars);
     }
     let binaries: Vec<VarId> = dvars.iter().flatten().map(|&(_, v)| v).collect();
-    let r = solve_mip(&lp, &binaries, MipOptions::default());
-    assert_eq!(r.status, MipStatus::Optimal, "exact solve failed: {:?}", r.status);
+    let r = solve_mip(&lp, &binaries, opts);
+    match r.status {
+        MipStatus::Optimal => {}
+        MipStatus::Infeasible => return Err(TeSolveError::Infeasible),
+        // Φ ∈ [0, 1] bounds the objective, so Unbounded only arises
+        // from a malformed program — report it as infeasibility rather
+        // than aborting the controller.
+        MipStatus::Unbounded => return Err(TeSolveError::Infeasible),
+        MipStatus::NodeLimit => {
+            return Err(TeSolveError::BudgetExceeded { nodes: r.nodes })
+        }
+    }
     let delta: Vec<Vec<usize>> = dvars
         .iter()
         .map(|vars| {
@@ -578,7 +706,7 @@ fn solve_bnb(problem: &TeProblem<'_>, beta: f64) -> TeSolution {
         .collect();
     let max_loss = r.x[phi.index()].max(0.0);
     let allocation = polish_allocation(problem, &delta, max_loss);
-    TeSolution { allocation, max_loss, delta, lp_solves: r.nodes + 1, benders_iters: 0 }
+    Ok(TeSolution { allocation, max_loss, delta, lp_solves: r.nodes + 1, benders_iters: 0 })
 }
 
 #[cfg(test)]

@@ -423,7 +423,12 @@ impl TeaVarScheme {
             mass += s.prob;
             kept.push(s);
         }
-        assert!(mass >= beta, "scenario mass {mass} below beta {beta}");
+        // The single-cut enumeration can fall short of β when the
+        // static cut probabilities are high (deeper scenarios hold the
+        // residual mass). Protecting everything enumerated is then the
+        // strongest guarantee available — the same clamp the optimizer
+        // applies to its knapsack rows — and strictly better than
+        // aborting the scheme.
         ScenarioSet { scenarios: kept }
     }
 }

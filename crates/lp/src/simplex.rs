@@ -370,7 +370,7 @@ impl Tableau {
                     let ratio = self.at(r, self.ncols) / a;
                     let better = ratio < best_ratio - eps
                         || (ratio < best_ratio + eps
-                            && leave.map_or(true, |l| self.basis[r] < self.basis[l]));
+                            && leave.is_none_or(|l| self.basis[r] < self.basis[l]));
                     if better {
                         best_ratio = ratio;
                         leave = Some(r);
@@ -394,7 +394,7 @@ impl Tableau {
     fn run(mut self, lp: &LinearProgram) -> Solution {
         let _eps = self.opts.eps;
         // Phase 1: minimize artificial sum.
-        let has_art = self.kind.iter().any(|&k| k == ColKind::Artificial);
+        let has_art = self.kind.contains(&ColKind::Artificial);
         if has_art {
             let costs: Vec<f64> = self
                 .kind

@@ -50,3 +50,71 @@ pub trait Predictor {
         self.predict_proba(event) >= 0.5
     }
 }
+
+/// Why a prediction could not be used by the controller.
+///
+/// In production the inference service is a separate process reached
+/// over RPC: it can return garbage (NaN from an overflowed softmax,
+/// values outside `[0, 1]` from a stale calibration layer), miss its
+/// latency budget, or be down entirely. The controller must treat all
+/// four the same way — fall back to the static prior — so they share
+/// one error type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictError {
+    /// The model produced NaN or an infinity.
+    NonFinite,
+    /// The model produced a finite value outside `[0, 1]`.
+    OutOfRange,
+    /// Inference finished but blew the caller's latency budget.
+    LatencyExceeded,
+    /// The predictor is unreachable (RPC failure, crashed process).
+    Unavailable,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PredictError::NonFinite => "predictor returned a non-finite probability",
+            PredictError::OutOfRange => "predictor returned a probability outside [0, 1]",
+            PredictError::LatencyExceeded => "inference exceeded its latency budget",
+            PredictError::Unavailable => "predictor unavailable",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// A validated prediction together with the (modelled) inference time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Probability of failure, guaranteed finite and in `[0, 1]`.
+    pub p_cut: f64,
+    /// Modelled inference latency in milliseconds (0 when the caller
+    /// does its own latency accounting).
+    pub latency_ms: f64,
+}
+
+/// Fallible prediction surface used by robustness-aware callers.
+///
+/// Every infallible [`Predictor`] is trivially a `TryPredictor` whose
+/// output is validated for finiteness and range; fault-injecting or
+/// RPC-backed predictors implement this trait directly and may return
+/// any [`PredictError`].
+pub trait TryPredictor {
+    /// Predicts, or explains why the result cannot be trusted.
+    fn try_predict_proba(&self, event: &DegradationEvent) -> Result<Prediction, PredictError>;
+}
+
+impl<P: Predictor + ?Sized> TryPredictor for P {
+    fn try_predict_proba(&self, event: &DegradationEvent) -> Result<Prediction, PredictError> {
+        let p = self.predict_proba(event);
+        if !p.is_finite() {
+            return Err(PredictError::NonFinite);
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(PredictError::OutOfRange);
+        }
+        Ok(Prediction { p_cut: p, latency_ms: 0.0 })
+    }
+}

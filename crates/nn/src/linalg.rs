@@ -92,8 +92,7 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -136,22 +136,31 @@ impl LossTrace {
     /// the healthy state is the lowest-loss regime, and even a trace
     /// dominated by a long outage keeps its pre-event healthy samples
     /// in the bottom tail.
+    ///
+    /// Non-finite samples (missing markers, sensor overflows) are
+    /// excluded; a trace with no finite sample at all gets a baseline
+    /// of 0 — its states are all treated as missing anyway.
     pub fn estimate_baseline(&self) -> f64 {
         let mut vals: Vec<f64> =
-            self.samples.iter().copied().filter(|s| !s.is_nan()).collect();
-        assert!(!vals.is_empty(), "cannot estimate baseline of all-missing trace");
+            self.samples.iter().copied().filter(|s| s.is_finite()).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
         vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
         vals[vals.len() / 20]
     }
 
     /// Classifies each sample against the estimated baseline.
+    /// Non-finite samples — NaN missing markers but also ±inf sensor
+    /// overflows — are treated as missing (benign): a single garbage
+    /// reading must not register as a fiber cut.
     pub fn states(&self) -> Vec<FiberState> {
         let base = self.estimate_baseline();
         self.samples
             .iter()
             .map(|s| {
-                if s.is_nan() {
-                    FiberState::Healthy // missing samples are benign
+                if !s.is_finite() {
+                    FiberState::Healthy // missing / corrupt samples are benign
                 } else {
                     classify_excess(s - base)
                 }
@@ -250,8 +259,14 @@ pub fn detect(trace: &LossTrace) -> Detection {
                 let window: Vec<f64> = trace.samples[start..i]
                     .iter()
                     .copied()
-                    .filter(|s| !s.is_nan())
+                    .filter(|s| s.is_finite())
                     .collect();
+                // Degraded states only arise from finite samples, so the
+                // window is non-empty — but guard anyway: feature
+                // extraction on an empty window must not produce NaN.
+                if window.is_empty() {
+                    continue;
+                }
                 let degree_db = window.iter().copied().sum::<f64>() / window.len() as f64 - base;
                 let (gradient_db, fluctuation) =
                     DegradationFeatures::series_features(&window);
@@ -386,5 +401,45 @@ mod tests {
         t.samples[50] = f64::NAN;
         let d = detect(&t);
         assert!(d.degradations.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_does_not_panic() {
+        let t = LossTrace { fiber: FiberId(0), start_s: 0, dt_s: 1, samples: vec![] };
+        assert_eq!(t.estimate_baseline(), 0.0);
+        assert!(t.states().is_empty());
+        let d = detect(&t);
+        assert!(d.degradations.is_empty());
+        assert!(d.cut_at_idx.is_none());
+    }
+
+    #[test]
+    fn all_missing_trace_does_not_panic() {
+        let t = LossTrace {
+            fiber: FiberId(0),
+            start_s: 0,
+            dt_s: 1,
+            samples: vec![f64::NAN; 120],
+        };
+        assert_eq!(t.estimate_baseline(), 0.0);
+        assert!(t.states().iter().all(|s| *s == FiberState::Healthy));
+        let d = detect(&t);
+        assert!(d.degradations.is_empty());
+        assert!(d.cut_at_idx.is_none());
+    }
+
+    #[test]
+    fn infinite_samples_are_treated_as_missing() {
+        // A sensor overflow (+inf) must neither register as a cut nor
+        // poison the baseline percentile; -inf must not become the
+        // baseline.
+        let mut t = synthesize(FiberId(0), 0, 300, &[], None, cfg(), 7);
+        t.samples[40] = f64::INFINITY;
+        t.samples[41] = f64::NEG_INFINITY;
+        let b = t.estimate_baseline();
+        assert!((7.5..=8.5).contains(&b), "baseline {b}");
+        let d = detect(&t);
+        assert!(d.degradations.is_empty());
+        assert!(d.cut_at_idx.is_none());
     }
 }

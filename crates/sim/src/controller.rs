@@ -137,7 +137,11 @@ impl<'a> Controller<'a> {
             };
             let state = DegradationState::single(fiber);
             let plan = self.scheme.plan(&ctx, &state, None);
-            let new_tunnels = plan.tunnels.len() - self.base_tunnels.len();
+            // Schemes may *prune* tunnels as well as add them, so the
+            // plan can be smaller than the base set — saturate instead
+            // of underflowing (an update that removes tunnels installs
+            // nothing new).
+            let new_tunnels = plan.tunnels.len().saturating_sub(self.base_tunnels.len());
             let timing = self.latency.pipeline(new_tunnels);
             let ready_at_s = at_s + timing.total_ms() / 1000.0;
             let decision_at_s = at_s + timing.decision_ms() / 1000.0;
@@ -168,19 +172,30 @@ impl<'a> Controller<'a> {
 
     /// Eqn 1 with the live prediction for the degraded fiber.
     fn estimate_probs(&self, state: &DegradationState, p_nn: f64) -> Vec<f64> {
-        self.model
-            .profiles()
-            .iter()
-            .enumerate()
-            .map(|(n, prof)| {
-                if state.is_degraded(FiberId(n)) {
-                    p_nn
-                } else {
-                    (1.0 - prete_optical::ALPHA_PREDICTABLE) * prof.p_cut
-                }
-            })
-            .collect()
+        estimate_probs(self.model, state, p_nn)
     }
+}
+
+/// Eqn 1 cut probabilities: the live NN prediction for degraded fibers,
+/// the discounted static prior for the rest. Shared by the plain and
+/// robust controllers.
+pub(crate) fn estimate_probs(
+    model: &FailureModel,
+    state: &DegradationState,
+    p_nn: f64,
+) -> Vec<f64> {
+    model
+        .profiles()
+        .iter()
+        .enumerate()
+        .map(|(n, prof)| {
+            if state.is_degraded(FiberId(n)) {
+                p_nn
+            } else {
+                (1.0 - prete_optical::ALPHA_PREDICTABLE) * prof.p_cut
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -249,6 +264,61 @@ mod tests {
         assert_eq!(report.prepared_before_cut, Some(true));
         let p = report.pipeline.expect("pipeline timing");
         assert!(p.decision_ms() < 300.0);
+    }
+
+    /// A scheme that *prunes* tunnels below the pre-established base
+    /// set — the shape that used to underflow the new-tunnel count.
+    struct PruningScheme;
+    impl TeScheme for PruningScheme {
+        fn name(&self) -> String {
+            "prune".into()
+        }
+        fn reaction(&self) -> prete_core::schemes::ReactionModel {
+            prete_core::schemes::ReactionModel::LocalRateAdaptation
+        }
+        fn plan(
+            &self,
+            ctx: &TeContext<'_>,
+            _state: &DegradationState,
+            _probs_override: Option<&[f64]>,
+        ) -> prete_core::schemes::Plan {
+            let tunnels = TunnelSet::initialize(ctx.net, ctx.flows, 1);
+            let n = tunnels.len();
+            prete_core::schemes::Plan {
+                tunnels,
+                allocation: vec![1.0; n],
+                admitted: ctx.flows.iter().map(|f| f.demand_gbps).collect(),
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_scheme_does_not_underflow() {
+        let net = triangle();
+        let model = FailureModel::new(&net, 42);
+        let flows = triangle_flows();
+        // Base set is *larger* than what the scheme will plan.
+        let base = TunnelSet::initialize(&net, &flows, 2);
+        let scheme = PruningScheme;
+        let predictor = OptimistPredictor;
+        let controller = Controller {
+            net: &net,
+            model: &model,
+            flows: &flows,
+            base_tunnels: &base,
+            predictor: &predictor,
+            scheme: &scheme,
+            latency: LatencyModel::default(),
+        };
+        let report = controller.replay_trace(&fig4b_trace());
+        // Pruning installs nothing new: no establishment event, and the
+        // pipeline runs with zero tunnel updates instead of panicking.
+        assert!(!report
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::TunnelsEstablished { .. })));
+        assert!(matches!(report.events[0], ControllerEvent::DegradationDetected { .. }));
+        assert_eq!(report.prepared_before_cut, Some(true));
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Deterministic, seeded fault injection for controller replays.
+//!
+//! Production incidents rarely arrive one at a time: the telemetry
+//! stream drops seconds and delivers out-of-order batches, the
+//! inference service returns garbage or times out, the TE solver blows
+//! its deadline, and tunnel-establishment RPCs fail — sometimes all in
+//! the same TE period. This module scripts those faults so the
+//! [`RobustController`](crate::robust::RobustController) can be driven
+//! through every degraded path *reproducibly*: a [`FaultPlan`] plus its
+//! seed fully determines every injected fault, so two replays of the
+//! same plan are bit-identical.
+//!
+//! Each fault class draws from its own sub-stream of the plan seed, so
+//! enabling one class never perturbs the draws of another.
+
+use prete_optical::trace::LossTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Whether a fault clears after a bounded number of occurrences or
+/// persists for the whole replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultPersistence {
+    /// The fault fires for the first `n` attempts (or, for telemetry,
+    /// the first `n` samples), then clears.
+    Transient(u32),
+    /// The fault never clears.
+    Permanent,
+}
+
+impl FaultPersistence {
+    /// Whether the fault is still active at occurrence `attempt`
+    /// (0-based).
+    pub fn active_at(&self, attempt: u32) -> bool {
+        match *self {
+            FaultPersistence::Transient(n) => attempt < n,
+            FaultPersistence::Permanent => true,
+        }
+    }
+}
+
+/// Telemetry-stream corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TelemetryFaults {
+    /// Which prefix of the trace is affected: `Transient(n)` corrupts
+    /// only the first `n` samples, `Permanent` the whole trace.
+    pub persistence: FaultPersistence,
+    /// Per-sample probability of a dropped second (becomes missing).
+    pub drop_prob: f64,
+    /// Per-sample probability of an additive spike.
+    pub spike_prob: f64,
+    /// Spike amplitude in dB; may be `f64::INFINITY` to model a sensor
+    /// overflow producing non-finite readings.
+    pub spike_db: f64,
+    /// When set, adjacent batches of this many samples may arrive
+    /// swapped (out-of-order telemetry), each boundary with
+    /// probability 0.5.
+    pub swap_batch: Option<usize>,
+}
+
+impl TelemetryFaults {
+    /// A light corruption profile: a few drops and finite spikes over
+    /// the whole trace.
+    pub fn light() -> Self {
+        Self {
+            persistence: FaultPersistence::Permanent,
+            drop_prob: 0.05,
+            spike_prob: 0.02,
+            spike_db: 25.0,
+            swap_batch: None,
+        }
+    }
+}
+
+/// How an injected predictor fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PredictorFaultKind {
+    /// The model returns NaN.
+    NonFinite,
+    /// The model returns a probability outside `[0, 1]`.
+    OutOfRange,
+    /// Inference completes but misses its latency budget.
+    LatencySpike,
+    /// The inference RPC fails outright.
+    Unavailable,
+}
+
+/// Predictor fault script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PredictorFaults {
+    /// What the fault looks like to the caller.
+    pub kind: PredictorFaultKind,
+    /// How many prediction attempts it poisons.
+    pub persistence: FaultPersistence,
+}
+
+/// How an injected solver fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SolverFaultKind {
+    /// The solve exceeds its deterministic work budget.
+    BudgetExceeded,
+    /// The solver reports the program infeasible.
+    Infeasible,
+}
+
+/// Solver fault script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SolverFaults {
+    /// What the fault looks like to the caller.
+    pub kind: SolverFaultKind,
+    /// How many solve attempts it poisons (the fallback chain counts
+    /// each method attempt separately).
+    pub persistence: FaultPersistence,
+}
+
+/// Tunnel-establishment RPC fault script.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TunnelFaults {
+    /// Per-tunnel probability that the first establishment RPC fails.
+    pub fail_prob: f64,
+    /// Given a failure, probability that it is permanent (retries can
+    /// never land it); otherwise it is transient and a retry succeeds.
+    pub permanent_prob: f64,
+}
+
+/// A complete fault script for one replay. `seed` plus the script
+/// fully determines every injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Master seed; each fault class derives its own sub-stream.
+    pub seed: u64,
+    /// Telemetry corruption, if any.
+    pub telemetry: Option<TelemetryFaults>,
+    /// Predictor faults, if any.
+    pub predictor: Option<PredictorFaults>,
+    /// Solver faults, if any.
+    pub solver: Option<SolverFaults>,
+    /// Tunnel-establishment faults, if any.
+    pub tunnels: Option<TunnelFaults>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: the robust controller behaves
+    /// exactly like the plain one.
+    pub fn none(seed: u64) -> Self {
+        Self { seed, telemetry: None, predictor: None, solver: None, tunnels: None }
+    }
+}
+
+/// Outcome of one tunnel's establishment attempt sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TunnelOutcome {
+    /// The tunnel came up after `attempts` RPCs (1 = first try).
+    Committed {
+        /// RPCs issued, including the successful one.
+        attempts: u32,
+    },
+    /// Every retry failed; the tunnel is abandoned for this period.
+    Abandoned {
+        /// RPCs issued, all failed.
+        attempts: u32,
+    },
+}
+
+/// Stateful fault injector for one replay. Holds one RNG sub-stream
+/// per fault class plus per-class attempt counters, so the sequence of
+/// injected faults is a pure function of the [`FaultPlan`].
+pub struct FaultInjector {
+    plan: FaultPlan,
+    telemetry_rng: StdRng,
+    tunnel_rng: StdRng,
+    predictor_attempts: u32,
+    solver_attempts: u32,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        Self {
+            plan: *plan,
+            telemetry_rng: StdRng::seed_from_u64(plan.seed ^ 0x7e1e_0001),
+            tunnel_rng: StdRng::seed_from_u64(plan.seed ^ 0x7e1e_0004),
+            predictor_attempts: 0,
+            solver_attempts: 0,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Applies the telemetry fault script to a trace, returning the
+    /// corrupted copy. Returns `None` when no telemetry faults are
+    /// scripted (callers then use the original trace untouched).
+    pub fn corrupt_trace(&mut self, trace: &LossTrace) -> Option<LossTrace> {
+        let cfg = self.plan.telemetry?;
+        let mut out = trace.clone();
+        let affected = match cfg.persistence {
+            FaultPersistence::Transient(n) => (n as usize).min(out.samples.len()),
+            FaultPersistence::Permanent => out.samples.len(),
+        };
+        for s in &mut out.samples[..affected] {
+            if cfg.drop_prob > 0.0 && self.telemetry_rng.gen_bool(cfg.drop_prob) {
+                *s = f64::NAN;
+            } else if cfg.spike_prob > 0.0 && self.telemetry_rng.gen_bool(cfg.spike_prob) {
+                *s += cfg.spike_db;
+            }
+        }
+        if let Some(batch) = cfg.swap_batch {
+            if batch > 0 {
+                let mut i = 0;
+                while i + 2 * batch <= affected {
+                    if self.telemetry_rng.gen_bool(0.5) {
+                        for k in 0..batch {
+                            out.samples.swap(i + k, i + batch + k);
+                        }
+                    }
+                    i += 2 * batch;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Consults the script for the next prediction attempt. `Some` is
+    /// the fault to inject; `None` means the attempt goes through to
+    /// the real predictor.
+    pub fn next_predictor_fault(&mut self) -> Option<PredictorFaultKind> {
+        let cfg = self.plan.predictor?;
+        let attempt = self.predictor_attempts;
+        self.predictor_attempts += 1;
+        cfg.persistence.active_at(attempt).then_some(cfg.kind)
+    }
+
+    /// Consults the script for the next solve attempt.
+    pub fn next_solver_fault(&mut self) -> Option<SolverFaultKind> {
+        let cfg = self.plan.solver?;
+        let attempt = self.solver_attempts;
+        self.solver_attempts += 1;
+        cfg.persistence.active_at(attempt).then_some(cfg.kind)
+    }
+
+    /// Plays out one tunnel's establishment RPCs under the script,
+    /// given how many attempts the retry policy allows.
+    pub fn tunnel_outcome(&mut self, max_attempts: u32) -> TunnelOutcome {
+        let max_attempts = max_attempts.max(1);
+        let Some(cfg) = self.plan.tunnels else {
+            return TunnelOutcome::Committed { attempts: 1 };
+        };
+        if cfg.fail_prob <= 0.0 || !self.tunnel_rng.gen_bool(cfg.fail_prob) {
+            return TunnelOutcome::Committed { attempts: 1 };
+        }
+        if cfg.permanent_prob >= 1.0 || self.tunnel_rng.gen_bool(cfg.permanent_prob) {
+            return TunnelOutcome::Abandoned { attempts: max_attempts };
+        }
+        // Transient: the fault clears after a scripted number of
+        // failed RPCs; if that exceeds the retry allowance the tunnel
+        // is abandoned anyway.
+        let clears_after = self.tunnel_rng.gen_range(1..=max_attempts.max(2) - 1);
+        if clears_after < max_attempts {
+            TunnelOutcome::Committed { attempts: clears_after + 1 }
+        } else {
+            TunnelOutcome::Abandoned { attempts: max_attempts }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prete_optical::trace::{synthesize, TraceConfig};
+    use prete_topology::FiberId;
+
+    fn trace() -> LossTrace {
+        synthesize(FiberId(0), 0, 200, &[], None, TraceConfig::default(), 5)
+    }
+
+    #[test]
+    fn no_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(&FaultPlan::none(1));
+        assert!(inj.corrupt_trace(&trace()).is_none());
+        assert_eq!(inj.next_predictor_fault(), None);
+        assert_eq!(inj.next_solver_fault(), None);
+        assert_eq!(inj.tunnel_outcome(4), TunnelOutcome::Committed { attempts: 1 });
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            telemetry: Some(TelemetryFaults { swap_batch: Some(10), ..TelemetryFaults::light() }),
+            ..FaultPlan::none(7)
+        };
+        let t = trace();
+        let a = FaultInjector::new(&plan).corrupt_trace(&t).unwrap();
+        let b = FaultInjector::new(&plan).corrupt_trace(&t).unwrap();
+        // Bit-level compare: dropped samples are NaN, and NaN != NaN
+        // under f64 equality.
+        let bits = |tr: &LossTrace| tr.samples.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        let c = FaultInjector::new(&FaultPlan { seed: 8, ..plan }).corrupt_trace(&t).unwrap();
+        assert_ne!(bits(&a), bits(&c));
+    }
+
+    #[test]
+    fn transient_telemetry_leaves_tail_untouched() {
+        let plan = FaultPlan {
+            telemetry: Some(TelemetryFaults {
+                persistence: FaultPersistence::Transient(50),
+                drop_prob: 1.0,
+                spike_prob: 0.0,
+                spike_db: 0.0,
+                swap_batch: None,
+            }),
+            ..FaultPlan::none(3)
+        };
+        let t = trace();
+        let c = FaultInjector::new(&plan).corrupt_trace(&t).unwrap();
+        assert!(c.samples[..50].iter().all(|s| s.is_nan()));
+        assert_eq!(c.samples[50..], t.samples[50..]);
+    }
+
+    #[test]
+    fn transient_predictor_fault_clears() {
+        let plan = FaultPlan {
+            predictor: Some(PredictorFaults {
+                kind: PredictorFaultKind::Unavailable,
+                persistence: FaultPersistence::Transient(2),
+            }),
+            ..FaultPlan::none(1)
+        };
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_predictor_fault(), Some(PredictorFaultKind::Unavailable));
+        assert_eq!(inj.next_predictor_fault(), Some(PredictorFaultKind::Unavailable));
+        assert_eq!(inj.next_predictor_fault(), None);
+    }
+
+    #[test]
+    fn permanent_tunnel_fault_abandons() {
+        let plan = FaultPlan {
+            tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 1.0 }),
+            ..FaultPlan::none(2)
+        };
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.tunnel_outcome(4), TunnelOutcome::Abandoned { attempts: 4 });
+    }
+
+    #[test]
+    fn transient_tunnel_fault_commits_within_retries() {
+        let plan = FaultPlan {
+            tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 0.0 }),
+            ..FaultPlan::none(2)
+        };
+        let mut inj = FaultInjector::new(&plan);
+        for _ in 0..16 {
+            match inj.tunnel_outcome(4) {
+                TunnelOutcome::Committed { attempts } => assert!((2..=4).contains(&attempts)),
+                TunnelOutcome::Abandoned { attempts } => assert_eq!(attempts, 4),
+            }
+        }
+    }
+}

@@ -74,7 +74,7 @@ impl PipelineTiming {
     pub fn decision_ms(&self) -> f64 {
         self.stages
             .iter()
-            .filter(|s| s.name != "tunnel-update")
+            .filter(|s| !s.name.starts_with("tunnel"))
             .map(|s| s.start_ms + s.duration_ms)
             .fold(0.0, f64::max)
     }

@@ -23,17 +23,31 @@
 //! * [`uncertainty`] — the Appendix A.7 / Figure 17 experiments:
 //!   traffic variation under workload vs capacity uncertainty, and the
 //!   availability effect of predicting demands (TeaVaR*/PreTE*) vs
-//!   predicting failures (PreTE).
+//!   predicting failures (PreTE);
+//! * [`faults`] — deterministic, seeded fault injection: telemetry
+//!   corruption, predictor faults, solver faults, tunnel RPC failures;
+//! * [`robust`] — the robust controller wrapping the pipeline with
+//!   per-stage fallback chains and explicit degraded modes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod faults;
 pub mod latency;
 pub mod production;
+pub mod robust;
 pub mod uncertainty;
 
 pub use controller::{Controller, ControllerEvent, ControllerReport};
+pub use faults::{
+    FaultInjector, FaultPersistence, FaultPlan, PredictorFaultKind, PredictorFaults,
+    SolverFaultKind, SolverFaults, TelemetryFaults, TunnelFaults, TunnelOutcome,
+};
 pub use latency::{LatencyModel, PipelineTiming};
 pub use production::{replay_production_case, ProductionOutcome};
+pub use robust::{
+    budget_from_latency, sanitize_trace, DegradedMode, FallbackOutcome, FallbackRecord,
+    FaultStage, RetryPolicy, RobustController, RobustReport,
+};
 pub use uncertainty::{uncertainty_experiment, UncertaintyReport};

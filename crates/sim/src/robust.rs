@@ -1,0 +1,912 @@
+//! The robust PreTE controller: explicit degraded modes and fallback
+//! chains around every pipeline stage.
+//!
+//! [`Controller`](crate::Controller) models the happy path; this module
+//! wraps the same pipeline with the failure semantics a production
+//! deployment needs. Each stage has a fallback chain, tried in order:
+//!
+//! | stage | fault | chain |
+//! |---|---|---|
+//! | telemetry | drops / spikes / NaN / out-of-order | sanitize, then detect |
+//! | prediction | NaN, out-of-range, latency, RPC down | retry w/ backoff → static prior |
+//! | TE solve | budget exceeded, infeasible | heuristic method → last-known-good policy |
+//! | tunnel RPC | transient / permanent failures | per-tunnel retry → partial commit |
+//!
+//! Every fallback taken is logged in
+//! [`RobustReport::fallbacks_fired`], and the degraded modes entered
+//! are summarized by [`RobustReport::worst_mode`]. All retry/backoff
+//! schedules and solver budgets are deterministic (work units, not
+//! wall clock), so a replay under a fixed [`FaultPlan`] is
+//! bit-reproducible: the acceptance bar is that two replays with the
+//! same fault seed produce *identical* reports, event for event.
+
+use crate::controller::estimate_probs;
+use crate::faults::{FaultInjector, FaultPlan, PredictorFaultKind, SolverFaultKind, TunnelOutcome};
+use crate::latency::{LatencyModel, PipelineTiming, Stage};
+use crate::{Controller, ControllerEvent};
+use prete_core::prelude::*;
+use prete_core::schemes::TeContext;
+use prete_nn::{PredictError, Predictor, TryPredictor};
+use prete_optical::trace::{detect, LossTrace};
+use prete_optical::{DegradationEvent, DegradationFeatures};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// A degraded operating mode the controller can fall into, ordered by
+/// severity (later variants are worse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum DegradedMode {
+    /// Telemetry was corrupted; detection ran on a sanitized stream.
+    SanitizedTelemetry,
+    /// The predictor was unusable; the static prior stood in.
+    PriorProbability,
+    /// The primary solve method failed; the heuristic produced the
+    /// policy.
+    HeuristicSolver,
+    /// Some tunnels could not be established; the plan committed
+    /// partially.
+    PartialTunnelCommit,
+    /// No fresh policy could be computed; the last-known-good policy
+    /// stayed in force.
+    LastKnownGoodPolicy,
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradedMode::SanitizedTelemetry => "sanitized-telemetry",
+            DegradedMode::PriorProbability => "prior-probability",
+            DegradedMode::HeuristicSolver => "heuristic-solver",
+            DegradedMode::PartialTunnelCommit => "partial-tunnel-commit",
+            DegradedMode::LastKnownGoodPolicy => "last-known-good-policy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The pipeline stage a fallback fired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultStage {
+    /// Telemetry ingest.
+    Telemetry,
+    /// NN inference.
+    Prediction,
+    /// TE recompute.
+    Solve,
+    /// Tunnel-establishment RPCs.
+    TunnelEstablishment,
+}
+
+/// How a fallback chain resolved.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FallbackOutcome {
+    /// Retries cleared the fault; no degraded mode was entered.
+    RecoveredAfterRetry {
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+        /// Backoff delay spent, in milliseconds.
+        backoff_ms: f64,
+    },
+    /// The chain fell through to a degraded mode.
+    DegradedTo(DegradedMode),
+}
+
+/// One fallback firing: where, why, and how it resolved.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FallbackRecord {
+    /// Stage the fault hit.
+    pub stage: FaultStage,
+    /// Human-readable fault description.
+    pub fault: String,
+    /// How the chain resolved.
+    pub outcome: FallbackOutcome,
+}
+
+/// Deterministic truncated-exponential retry/backoff policy.
+///
+/// The schedule is monotone non-decreasing, capped per-interval at
+/// `max_delay_ms`, and a pure function of the seed — three properties
+/// the property tests in `tests/properties.rs` pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `max_attempts - 1`
+    /// waits).
+    pub max_attempts: u32,
+    /// First backoff interval in milliseconds.
+    pub base_delay_ms: f64,
+    /// Exponential growth factor (≥ 1).
+    pub multiplier: f64,
+    /// Per-interval cap in milliseconds.
+    pub max_delay_ms: f64,
+    /// Jitter fraction in `[0, 1]`: each interval is stretched by up
+    /// to this fraction before capping.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay_ms: 50.0,
+            multiplier: 2.0,
+            max_delay_ms: 1_000.0,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff schedule for one fault site: `max_attempts - 1`
+    /// waits in milliseconds. Deterministic per seed; monotone
+    /// non-decreasing; each interval ≤ `max_delay_ms`.
+    pub fn schedule(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev = 0.0f64;
+        (1..self.max_attempts)
+            .map(|i| {
+                let raw = self.base_delay_ms * self.multiplier.powi(i as i32 - 1);
+                let jittered = raw * (1.0 + self.jitter * rng.gen::<f64>());
+                let d = jittered.min(self.max_delay_ms).max(prev);
+                prev = d;
+                d
+            })
+            .collect()
+    }
+
+    /// Upper bound on the total backoff of one full schedule.
+    pub fn worst_case_total_ms(&self) -> f64 {
+        self.max_delay_ms * self.max_attempts.saturating_sub(1) as f64
+    }
+}
+
+/// Outcome of a fault-injected replay: the plain controller report
+/// plus the robustness bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RobustReport {
+    /// Chronological event log (same vocabulary as the plain
+    /// controller).
+    pub events: Vec<ControllerEvent>,
+    /// Pipeline timing of the degradation reaction, including any
+    /// retry backoff.
+    pub pipeline: Option<PipelineTiming>,
+    /// Whether preparation completed before the cut.
+    pub prepared_before_cut: Option<bool>,
+    /// Every fallback that fired, in order.
+    pub fallbacks_fired: Vec<FallbackRecord>,
+    /// Max β-loss of the policy in force at the end of the replay —
+    /// always present: a failed recompute leaves the last-known-good
+    /// policy standing.
+    pub policy_max_loss: f64,
+    /// Tunnels the plan asked for.
+    pub requested_tunnels: usize,
+    /// Tunnels actually established.
+    pub committed_tunnels: usize,
+}
+
+impl RobustReport {
+    /// Degraded modes entered, in severity order (deduplicated).
+    pub fn degraded_modes(&self) -> Vec<DegradedMode> {
+        let mut modes: Vec<DegradedMode> = self
+            .fallbacks_fired
+            .iter()
+            .filter_map(|f| match f.outcome {
+                FallbackOutcome::DegradedTo(m) => Some(m),
+                FallbackOutcome::RecoveredAfterRetry { .. } => None,
+            })
+            .collect();
+        modes.sort();
+        modes.dedup();
+        modes
+    }
+
+    /// The most severe degraded mode entered, if any.
+    pub fn worst_mode(&self) -> Option<DegradedMode> {
+        self.degraded_modes().into_iter().max()
+    }
+}
+
+/// Work-rate constants converting the latency model's TE-compute
+/// deadline into deterministic solver work units. Work units (B&B
+/// nodes, Benders iterations) rather than wall clock keep replays
+/// bit-reproducible across machines; the constants are calibrated to
+/// the repo's bench numbers (a few hundred nodes or a handful of
+/// Benders iterations per 100 ms on the reference instances).
+const MIP_NODES_PER_MS: f64 = 50.0;
+const BENDERS_ITERS_PER_MS: f64 = 0.25;
+
+/// Derives the deterministic solve budget from a latency model's
+/// TE-compute deadline.
+pub fn budget_from_latency(latency: &LatencyModel) -> SolveBudget {
+    SolveBudget {
+        max_mip_nodes: (latency.te_compute_ms * MIP_NODES_PER_MS).max(1.0) as usize,
+        max_benders_iters: (latency.te_compute_ms * BENDERS_ITERS_PER_MS).max(1.0) as usize,
+    }
+}
+
+/// Replaces non-finite samples with missing markers, interpolates the
+/// gaps, and removes single-sample spikes (a lone reading more than
+/// 10 dB above both neighbours is a glitch, not physics — real
+/// degradations and cuts are sustained).
+pub fn sanitize_trace(trace: &LossTrace) -> LossTrace {
+    let mut out = trace.clone();
+    for s in &mut out.samples {
+        if !s.is_finite() {
+            *s = f64::NAN;
+        }
+    }
+    out.interpolate();
+    let n = out.samples.len();
+    for i in 1..n.saturating_sub(1) {
+        let (l, c, r) = (out.samples[i - 1], out.samples[i], out.samples[i + 1]);
+        if c - l.max(r) > 10.0 {
+            out.samples[i] = 0.5 * (l + r);
+        }
+    }
+    out
+}
+
+/// A predictor wrapper that injects scripted faults ahead of the real
+/// model.
+struct FaultyPredictor<'a> {
+    inner: &'a dyn Predictor,
+    fault: std::cell::RefCell<&'a mut FaultInjector>,
+}
+
+impl TryPredictor for FaultyPredictor<'_> {
+    fn try_predict_proba(&self, event: &DegradationEvent) -> Result<prete_nn::Prediction, PredictError> {
+        if let Some(kind) = self.fault.borrow_mut().next_predictor_fault() {
+            return Err(match kind {
+                PredictorFaultKind::NonFinite => PredictError::NonFinite,
+                PredictorFaultKind::OutOfRange => PredictError::OutOfRange,
+                PredictorFaultKind::LatencySpike => PredictError::LatencyExceeded,
+                PredictorFaultKind::Unavailable => PredictError::Unavailable,
+            });
+        }
+        self.inner.try_predict_proba(event)
+    }
+}
+
+/// The robust controller: the plain pipeline plus fault injection,
+/// retry/backoff, deadline budgets and per-stage fallback chains.
+pub struct RobustController<'a> {
+    /// The wrapped plain controller (network, model, flows, tunnels,
+    /// predictor, scheme, latency).
+    pub inner: Controller<'a>,
+    /// Primary TE solve method; the heuristic is the fallback.
+    pub method: SolveMethod,
+    /// Retry/backoff policy for prediction and tunnel RPCs.
+    pub retry: RetryPolicy,
+    /// Planning availability target.
+    pub beta: f64,
+    /// The last-known-good policy, computed over the base tunnels at
+    /// construction; the terminal fallback when no fresh policy can be
+    /// computed.
+    last_known_good: TeSolution,
+}
+
+impl<'a> RobustController<'a> {
+    /// Wraps a controller, precomputing the last-known-good policy
+    /// (heuristic solve over the base tunnels under static priors —
+    /// infallible by construction).
+    pub fn new(inner: Controller<'a>, method: SolveMethod, retry: RetryPolicy, beta: f64) -> Self {
+        let probs: Vec<f64> = inner
+            .model
+            .profiles()
+            .iter()
+            .map(|p| (1.0 - prete_optical::ALPHA_PREDICTABLE) * p.p_cut)
+            .collect();
+        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+        let problem = TeProblem::new(inner.net, inner.flows, inner.base_tunnels, &scenarios);
+        let last_known_good = solve_te(&problem, beta, SolveMethod::Heuristic);
+        Self { inner, method, retry, beta, last_known_good }
+    }
+
+    /// The standing policy used when every solve fallback fails.
+    pub fn last_known_good(&self) -> &TeSolution {
+        &self.last_known_good
+    }
+
+    /// Replays a telemetry trace under a fault plan.
+    ///
+    /// Never panics for any fault combination; always leaves a policy
+    /// in force (fresh, heuristic, or last-known-good). Two replays of
+    /// the same trace and fault plan return identical reports.
+    pub fn replay_trace(&self, trace: &LossTrace, plan: &FaultPlan) -> RobustReport {
+        let mut inj = FaultInjector::new(plan);
+        let mut fallbacks: Vec<FallbackRecord> = Vec::new();
+
+        // ---- Stage 1: telemetry. Corrupt per the script, then
+        // sanitize before detection.
+        let observed = match inj.corrupt_trace(trace) {
+            Some(corrupted) => {
+                let sanitized = sanitize_trace(&corrupted);
+                fallbacks.push(FallbackRecord {
+                    stage: FaultStage::Telemetry,
+                    fault: "telemetry corruption (drops/spikes/reorder)".into(),
+                    outcome: FallbackOutcome::DegradedTo(DegradedMode::SanitizedTelemetry),
+                });
+                sanitized
+            }
+            None => trace.clone(),
+        };
+
+        let mut events = Vec::new();
+        let mut pipeline = None;
+        let mut prepared_before_cut = None;
+        let mut policy_max_loss = self.last_known_good.max_loss;
+        let mut requested_tunnels = 0;
+        let mut committed_tunnels = 0;
+
+        let detection = detect(&observed);
+        let cut_at = detection.cut_at_idx.map(|i| i as f64 * observed.dt_s as f64);
+
+        if let Some(deg) = detection.degradations.first() {
+            const CONFIRM_SAMPLES: usize = 3;
+            let at_s =
+                (deg.start_idx + deg.len.min(CONFIRM_SAMPLES)) as f64 * observed.dt_s as f64;
+            let fiber = observed.fiber;
+            let fiber_meta = self.inner.net.fiber(fiber);
+            let event = DegradationEvent {
+                fiber,
+                start_s: observed.start_s + deg.start_idx as u64,
+                duration_s: deg.len as u64,
+                features: DegradationFeatures {
+                    hour: ((observed.start_s / 3600) % 24) as u8,
+                    degree_db: deg.degree_db,
+                    gradient_db: deg.gradient_db,
+                    fluctuation: deg.fluctuation,
+                    region: fiber_meta.region,
+                    fiber_id: fiber.index(),
+                    length_km: fiber_meta.length_km,
+                    vendor: fiber_meta.vendor,
+                },
+                led_to_cut: false,
+                cut_delay_s: None,
+            };
+
+            // ---- Stage 2: prediction, with retry → static prior.
+            let mut retry_backoff_ms = 0.0;
+            let p = {
+                let schedule = self.retry.schedule(plan.seed ^ 0x9d1c_0002);
+                let faulty = FaultyPredictor {
+                    inner: self.inner.predictor,
+                    fault: std::cell::RefCell::new(&mut inj),
+                };
+                let mut result = None;
+                let mut attempts = 0u32;
+                let mut last_err = None;
+                while attempts < self.retry.max_attempts {
+                    attempts += 1;
+                    match faulty.try_predict_proba(&event) {
+                        Ok(pred) => {
+                            result = Some(pred.p_cut);
+                            break;
+                        }
+                        Err(e) => {
+                            last_err = Some(e);
+                            if (attempts as usize) <= schedule.len() {
+                                retry_backoff_ms += schedule[attempts as usize - 1];
+                            }
+                        }
+                    }
+                }
+                match result {
+                    Some(p) => {
+                        if attempts > 1 {
+                            fallbacks.push(FallbackRecord {
+                                stage: FaultStage::Prediction,
+                                fault: last_err.expect("retried ⇒ at least one error").to_string(),
+                                outcome: FallbackOutcome::RecoveredAfterRetry {
+                                    attempts,
+                                    backoff_ms: retry_backoff_ms,
+                                },
+                            });
+                        }
+                        p
+                    }
+                    None => {
+                        // Static prior for the degraded fiber (Eqn 1's
+                        // off-signal term): the probability PreTE would
+                        // assume with no model at all.
+                        let prior = (1.0 - prete_optical::ALPHA_PREDICTABLE)
+                            * self.inner.model.profiles()[fiber.index()].p_cut;
+                        fallbacks.push(FallbackRecord {
+                            stage: FaultStage::Prediction,
+                            fault: last_err.expect("exhausted ⇒ errors").to_string(),
+                            outcome: FallbackOutcome::DegradedTo(DegradedMode::PriorProbability),
+                        });
+                        prior
+                    }
+                }
+            };
+            events.push(ControllerEvent::DegradationDetected {
+                fiber,
+                at_s,
+                predicted_cut_prob: p,
+            });
+
+            // ---- Stage 3: plan + TE solve with deadline budget, then
+            // heuristic, then last-known-good.
+            let ctx = TeContext {
+                net: self.inner.net,
+                model: self.inner.model,
+                flows: self.inner.flows,
+                base_tunnels: self.inner.base_tunnels,
+            };
+            let state = DegradationState::single(fiber);
+            let tunnel_plan = self.inner.scheme.plan(&ctx, &state, None);
+            requested_tunnels =
+                tunnel_plan.tunnels.len().saturating_sub(self.inner.base_tunnels.len());
+
+            let probs = estimate_probs(self.inner.model, &state, p);
+            let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+            let problem =
+                TeProblem::new(self.inner.net, self.inner.flows, &tunnel_plan.tunnels, &scenarios);
+            let budget = budget_from_latency(&self.inner.latency);
+
+            let mut attempt = |method: SolveMethod| -> Result<TeSolution, TeSolveError> {
+                if let Some(kind) = inj.next_solver_fault() {
+                    return Err(match kind {
+                        SolverFaultKind::BudgetExceeded => TeSolveError::BudgetExceeded { nodes: 0 },
+                        SolverFaultKind::Infeasible => TeSolveError::Infeasible,
+                    });
+                }
+                try_solve_te(&problem, self.beta, method, budget)
+            };
+            let (sol_loss, used_last_known_good) = match attempt(self.method) {
+                Ok(sol) => (sol.max_loss, false),
+                Err(primary_err) => match attempt(SolveMethod::Heuristic) {
+                    Ok(sol) => {
+                        fallbacks.push(FallbackRecord {
+                            stage: FaultStage::Solve,
+                            fault: primary_err.to_string(),
+                            outcome: FallbackOutcome::DegradedTo(DegradedMode::HeuristicSolver),
+                        });
+                        (sol.max_loss, false)
+                    }
+                    Err(heuristic_err) => {
+                        fallbacks.push(FallbackRecord {
+                            stage: FaultStage::Solve,
+                            fault: format!("{primary_err}; heuristic also failed: {heuristic_err}"),
+                            outcome: FallbackOutcome::DegradedTo(DegradedMode::LastKnownGoodPolicy),
+                        });
+                        (self.last_known_good.max_loss, true)
+                    }
+                },
+            };
+            policy_max_loss = sol_loss;
+
+            // ---- Stage 4: tunnel establishment with per-tunnel retry
+            // and partial commit. A stale policy has no new tunnels to
+            // bring up.
+            let to_establish = if used_last_known_good { 0 } else { requested_tunnels };
+            let mut tunnel_backoff_ms = 0.0;
+            let tunnel_schedule = self.retry.schedule(plan.seed ^ 0x9d1c_0004);
+            for _ in 0..to_establish {
+                match inj.tunnel_outcome(self.retry.max_attempts) {
+                    TunnelOutcome::Committed { attempts } => {
+                        committed_tunnels += 1;
+                        if attempts > 1 {
+                            let backoff: f64 =
+                                tunnel_schedule[..(attempts as usize - 1).min(tunnel_schedule.len())]
+                                    .iter()
+                                    .sum();
+                            tunnel_backoff_ms += backoff;
+                            fallbacks.push(FallbackRecord {
+                                stage: FaultStage::TunnelEstablishment,
+                                fault: "transient tunnel RPC failure".into(),
+                                outcome: FallbackOutcome::RecoveredAfterRetry {
+                                    attempts,
+                                    backoff_ms: backoff,
+                                },
+                            });
+                        }
+                    }
+                    TunnelOutcome::Abandoned { attempts } => {
+                        tunnel_backoff_ms += tunnel_schedule.iter().sum::<f64>();
+                        fallbacks.push(FallbackRecord {
+                            stage: FaultStage::TunnelEstablishment,
+                            fault: format!("tunnel RPC failed {attempts}× (permanent)"),
+                            outcome: FallbackOutcome::DegradedTo(DegradedMode::PartialTunnelCommit),
+                        });
+                    }
+                }
+            }
+
+            // ---- Timing: the plain pipeline for the committed tunnel
+            // count, plus explicit retry-backoff stages.
+            let mut timing = self.inner.latency.pipeline(committed_tunnels);
+            if retry_backoff_ms > 0.0 {
+                // Retry backoff extends the inference stage's slot.
+                let idx = timing
+                    .stages
+                    .iter()
+                    .position(|s| s.name == "inference")
+                    .map(|i| i + 1)
+                    .unwrap_or(timing.stages.len());
+                let start = idx
+                    .checked_sub(1)
+                    .and_then(|i| timing.stages.get(i))
+                    .map(|s| s.start_ms + s.duration_ms)
+                    .unwrap_or(0.0);
+                for s in &mut timing.stages[idx..] {
+                    s.start_ms += retry_backoff_ms;
+                }
+                timing.stages.insert(
+                    idx,
+                    Stage {
+                        name: "prediction-retry-backoff".into(),
+                        start_ms: start,
+                        duration_ms: retry_backoff_ms,
+                    },
+                );
+            }
+            if tunnel_backoff_ms > 0.0 {
+                let start = timing.total_ms();
+                timing.stages.push(Stage {
+                    name: "tunnel-retry-backoff".into(),
+                    start_ms: start,
+                    duration_ms: tunnel_backoff_ms,
+                });
+            }
+            let ready_at_s = at_s + timing.total_ms() / 1000.0;
+            let decision_at_s = at_s + timing.decision_ms() / 1000.0;
+            events.push(ControllerEvent::PolicyRecomputed {
+                max_loss: policy_max_loss,
+                at_s: decision_at_s,
+            });
+            if committed_tunnels > 0 {
+                events.push(ControllerEvent::TunnelsEstablished {
+                    count: committed_tunnels,
+                    ready_at_s,
+                });
+            }
+            pipeline = Some(timing);
+            prepared_before_cut = cut_at.map(|c| ready_at_s <= c);
+        }
+
+        if let Some(at) = cut_at {
+            events.push(ControllerEvent::CutObserved { fiber: observed.fiber, at_s: at });
+        }
+
+        RobustReport {
+            events,
+            pipeline,
+            prepared_before_cut,
+            fallbacks_fired: fallbacks,
+            policy_max_loss,
+            requested_tunnels,
+            committed_tunnels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{
+        FaultPersistence, PredictorFaults, SolverFaults, TelemetryFaults, TunnelFaults,
+    };
+    use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+    use prete_core::examples::{triangle, triangle_flows};
+    use prete_core::schemes::PreTeScheme;
+    use prete_optical::trace::{synthesize, ScriptedDegradation, TraceConfig};
+    use prete_topology::FiberId;
+
+    struct OptimistPredictor;
+    impl Predictor for OptimistPredictor {
+        fn predict_proba(&self, _e: &DegradationEvent) -> f64 {
+            0.8
+        }
+    }
+
+    fn fig4b_trace() -> LossTrace {
+        let deg = ScriptedDegradation {
+            start_s: 65,
+            duration_s: 45,
+            degree_db: 6.0,
+            wobble_db: 0.15,
+        };
+        synthesize(FiberId(0), 0, 400, &[deg], Some(110), TraceConfig::default(), 9)
+    }
+
+    /// Builds the standard triangle testbed and replays the Figure 4(b)
+    /// trace through the robust controller under `plan`.
+    fn replay(plan: &FaultPlan) -> RobustReport {
+        let net = triangle();
+        let model = FailureModel::new(&net, 42);
+        let flows: Vec<Flow> = triangle_flows()
+            .into_iter()
+            .map(|f| Flow { demand_gbps: 4.0, ..f })
+            .collect();
+        let base = TunnelSet::initialize(&net, &flows, 1);
+        let truth = TrueConditionals::ground_truth(&net, &model, 50, 1);
+        let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+        let predictor = OptimistPredictor;
+        let inner = Controller {
+            net: &net,
+            model: &model,
+            flows: &flows,
+            base_tunnels: &base,
+            predictor: &predictor,
+            scheme: &scheme,
+            latency: LatencyModel::default(),
+        };
+        let robust =
+            RobustController::new(inner, SolveMethod::Heuristic, RetryPolicy::default(), 0.99);
+        robust.replay_trace(&fig4b_trace(), plan)
+    }
+
+    #[test]
+    fn clean_plan_matches_plain_controller() {
+        let net = triangle();
+        let model = FailureModel::new(&net, 42);
+        let flows: Vec<Flow> = triangle_flows()
+            .into_iter()
+            .map(|f| Flow { demand_gbps: 4.0, ..f })
+            .collect();
+        let base = TunnelSet::initialize(&net, &flows, 1);
+        let truth = TrueConditionals::ground_truth(&net, &model, 50, 1);
+        let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+        let predictor = OptimistPredictor;
+        let mk = || Controller {
+            net: &net,
+            model: &model,
+            flows: &flows,
+            base_tunnels: &base,
+            predictor: &predictor,
+            scheme: &scheme,
+            latency: LatencyModel::default(),
+        };
+        let plain = mk().replay_trace(&fig4b_trace());
+        let robust = RobustController::new(
+            mk(),
+            SolveMethod::Heuristic,
+            RetryPolicy::default(),
+            0.99,
+        );
+        let report = robust.replay_trace(&fig4b_trace(), &FaultPlan::none(11));
+        // With nothing injected the robust path IS the plain path:
+        // same events, same timing, no fallbacks, no degraded modes.
+        assert_eq!(report.events, plain.events);
+        assert_eq!(report.pipeline, plain.pipeline);
+        assert_eq!(report.prepared_before_cut, plain.prepared_before_cut);
+        assert_eq!(report.prepared_before_cut, Some(true));
+        assert!(report.fallbacks_fired.is_empty());
+        assert!(report.degraded_modes().is_empty());
+        assert_eq!(report.worst_mode(), None);
+    }
+
+    #[test]
+    fn fault_matrix_never_panics_and_names_the_mode() {
+        // Every fault kind x {transient, permanent}: the replay must
+        // not panic, must leave a policy in force (finite max loss)
+        // and must name the exact degraded mode it entered — or record
+        // the recovery when retries cleared a transient fault.
+        let predictor_kinds = [
+            PredictorFaultKind::NonFinite,
+            PredictorFaultKind::OutOfRange,
+            PredictorFaultKind::LatencySpike,
+            PredictorFaultKind::Unavailable,
+        ];
+        let solver_kinds = [SolverFaultKind::BudgetExceeded, SolverFaultKind::Infeasible];
+
+        let mut cases: Vec<(String, FaultPlan, Option<DegradedMode>)> = vec![
+            (
+                "telemetry/permanent".into(),
+                FaultPlan {
+                    telemetry: Some(TelemetryFaults::light()),
+                    ..FaultPlan::none(21)
+                },
+                Some(DegradedMode::SanitizedTelemetry),
+            ),
+            (
+                "telemetry/transient".into(),
+                FaultPlan {
+                    telemetry: Some(TelemetryFaults {
+                        persistence: FaultPersistence::Transient(30),
+                        drop_prob: 0.5,
+                        spike_prob: 0.2,
+                        spike_db: f64::INFINITY,
+                        swap_batch: Some(5),
+                    }),
+                    ..FaultPlan::none(22)
+                },
+                Some(DegradedMode::SanitizedTelemetry),
+            ),
+            (
+                "tunnels/permanent".into(),
+                FaultPlan {
+                    tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 1.0 }),
+                    ..FaultPlan::none(23)
+                },
+                Some(DegradedMode::PartialTunnelCommit),
+            ),
+            (
+                "tunnels/transient".into(),
+                FaultPlan {
+                    tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 0.0 }),
+                    ..FaultPlan::none(24)
+                },
+                None, // retries always land within the allowance
+            ),
+        ];
+        for kind in predictor_kinds {
+            cases.push((
+                format!("predictor/{kind:?}/permanent"),
+                FaultPlan {
+                    predictor: Some(PredictorFaults {
+                        kind,
+                        persistence: FaultPersistence::Permanent,
+                    }),
+                    ..FaultPlan::none(25)
+                },
+                Some(DegradedMode::PriorProbability),
+            ));
+            cases.push((
+                format!("predictor/{kind:?}/transient"),
+                FaultPlan {
+                    predictor: Some(PredictorFaults {
+                        kind,
+                        persistence: FaultPersistence::Transient(1),
+                    }),
+                    ..FaultPlan::none(26)
+                },
+                None, // one retry clears it
+            ));
+        }
+        for kind in solver_kinds {
+            cases.push((
+                format!("solver/{kind:?}/permanent"),
+                FaultPlan {
+                    solver: Some(SolverFaults { kind, persistence: FaultPersistence::Permanent }),
+                    ..FaultPlan::none(27)
+                },
+                Some(DegradedMode::LastKnownGoodPolicy),
+            ));
+            cases.push((
+                format!("solver/{kind:?}/transient"),
+                FaultPlan {
+                    solver: Some(SolverFaults {
+                        kind,
+                        persistence: FaultPersistence::Transient(1),
+                    }),
+                    ..FaultPlan::none(28)
+                },
+                Some(DegradedMode::HeuristicSolver),
+            ));
+        }
+
+        for (label, plan, expected_mode) in &cases {
+            let report = replay(plan);
+            // A policy is always in force.
+            assert!(report.policy_max_loss.is_finite(), "{label}: no policy");
+            assert!(
+                report
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, ControllerEvent::PolicyRecomputed { .. })),
+                "{label}: no PolicyRecomputed event"
+            );
+            match expected_mode {
+                Some(mode) => assert!(
+                    report.degraded_modes().contains(mode),
+                    "{label}: expected {mode}, got {:?}",
+                    report.degraded_modes()
+                ),
+                None => {
+                    assert!(
+                        report.degraded_modes().is_empty(),
+                        "{label}: unexpected degraded modes {:?}",
+                        report.degraded_modes()
+                    );
+                    assert!(
+                        report.fallbacks_fired.iter().any(|f| matches!(
+                            f.outcome,
+                            FallbackOutcome::RecoveredAfterRetry { .. }
+                        )),
+                        "{label}: transient fault left no recovery record"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_commit_establishes_nothing_under_permanent_rpc_failure() {
+        let report = replay(&FaultPlan {
+            tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 1.0 }),
+            ..FaultPlan::none(31)
+        });
+        assert!(report.requested_tunnels > 0);
+        assert_eq!(report.committed_tunnels, 0);
+        assert!(!report
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::TunnelsEstablished { .. })));
+    }
+
+    #[test]
+    fn everything_at_once_still_produces_a_policy() {
+        // The kitchen sink: all four fault classes in one replay.
+        let plan = FaultPlan {
+            seed: 99,
+            telemetry: Some(TelemetryFaults::light()),
+            predictor: Some(PredictorFaults {
+                kind: PredictorFaultKind::Unavailable,
+                persistence: FaultPersistence::Permanent,
+            }),
+            solver: Some(SolverFaults {
+                kind: SolverFaultKind::Infeasible,
+                persistence: FaultPersistence::Permanent,
+            }),
+            tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 1.0 }),
+        };
+        let report = replay(&plan);
+        assert!(report.policy_max_loss.is_finite());
+        assert_eq!(report.worst_mode(), Some(DegradedMode::LastKnownGoodPolicy));
+        let modes = report.degraded_modes();
+        assert!(modes.contains(&DegradedMode::SanitizedTelemetry));
+        assert!(modes.contains(&DegradedMode::PriorProbability));
+        assert!(modes.contains(&DegradedMode::LastKnownGoodPolicy));
+    }
+
+    #[test]
+    fn replays_are_bit_identical_per_fault_seed() {
+        let plan = FaultPlan {
+            seed: 1234,
+            telemetry: Some(TelemetryFaults { swap_batch: Some(8), ..TelemetryFaults::light() }),
+            predictor: Some(PredictorFaults {
+                kind: PredictorFaultKind::NonFinite,
+                persistence: FaultPersistence::Transient(2),
+            }),
+            solver: Some(SolverFaults {
+                kind: SolverFaultKind::BudgetExceeded,
+                persistence: FaultPersistence::Transient(1),
+            }),
+            tunnels: Some(TunnelFaults { fail_prob: 0.7, permanent_prob: 0.3 }),
+        };
+        let a = replay(&plan);
+        let b = replay(&plan);
+        // Event-for-event identity, including every fallback record.
+        assert_eq!(a, b);
+        // A different fault seed perturbs the replay (the plan is
+        // probabilistic enough that some draw changes).
+        let c = replay(&FaultPlan { seed: 4321, ..plan });
+        assert_ne!(a.fallbacks_fired, c.fallbacks_fired);
+    }
+
+    #[test]
+    fn sanitize_interpolates_and_despikes() {
+        let mut t = synthesize(FiberId(0), 0, 60, &[], None, TraceConfig::default(), 3);
+        t.samples[10] = f64::NAN;
+        t.samples[20] = f64::INFINITY;
+        t.samples[30] += 40.0; // lone glitch, not a degradation
+        let clean = sanitize_trace(&t);
+        assert!(clean.samples.iter().all(|s| s.is_finite()));
+        assert!(clean.samples[30] < t.samples[30] - 30.0, "spike survived");
+    }
+
+    #[test]
+    fn retry_schedule_is_monotone_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let s1 = policy.schedule(77);
+        let s2 = policy.schedule(77);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), (policy.max_attempts - 1) as usize);
+        for w in s1.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(s1.iter().all(|&d| d <= policy.max_delay_ms));
+        assert!(s1.iter().sum::<f64>() <= policy.worst_case_total_ms());
+    }
+
+    #[test]
+    fn degraded_modes_order_by_severity() {
+        assert!(DegradedMode::SanitizedTelemetry < DegradedMode::PriorProbability);
+        assert!(DegradedMode::PriorProbability < DegradedMode::HeuristicSolver);
+        assert!(DegradedMode::HeuristicSolver < DegradedMode::PartialTunnelCommit);
+        assert!(DegradedMode::PartialTunnelCommit < DegradedMode::LastKnownGoodPolicy);
+    }
+}

@@ -196,7 +196,19 @@ pub fn uncertainty_experiment(
         (&prete_inner, "PreTE*", true),
     ];
     for (inner, label, predicted_demand) in schemes {
-        let planning = if predicted_demand { realized.clone() } else { stale.clone() };
+        // A scheme with demand prediction plans on the realized matrix;
+        // one without plans on the last-period demands padded to the
+        // drift envelope — operators know the drift magnitude even when
+        // they cannot predict its direction, and planning without that
+        // headroom drops a flow the moment it jitters upward.
+        let planning = if predicted_demand {
+            realized.clone()
+        } else {
+            stale
+                .iter()
+                .map(|f| Flow { demand_gbps: f.demand_gbps * (1.0 + demand_jitter), ..*f })
+                .collect()
+        };
         let wrapped = DemandShiftScheme {
             inner,
             planning_flows: planning,

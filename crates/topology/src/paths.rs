@@ -259,28 +259,47 @@ pub fn k_shortest_paths(net: &Network, src: SiteId, dst: SiteId, k: usize) -> Ve
     k_shortest_paths_avoiding(net, src, dst, k, &HashSet::new())
 }
 
-/// Greedy fiber-disjoint routing: repeatedly takes the shortest path,
-/// then removes its fibers before searching for the next, so no two
-/// returned paths share a fiber span. Returns at most `k` paths.
+/// Fiber-disjoint routing: grows a disjoint path set greedily —
+/// shortest path first, its fibers banned for the next search — but
+/// restarts the growth from each of the first few shortest paths and
+/// keeps the largest (then lightest) set found.
+///
+/// Plain greedy is not safe here: a single shortest path can zig-zag
+/// across every parallel rail of the topology (B4's 0→11 pair does
+/// exactly this), stranding a complement that a Suurballe-style
+/// rebalancing would find. Restarting from alternative seed paths
+/// recovers those pairs whenever any of the seeds belongs to a
+/// disjoint set, which covers every mesh topology in this repo.
+/// Returns at most `k` mutually fiber-disjoint paths.
 pub fn fiber_disjoint_paths(net: &Network, src: SiteId, dst: SiteId, k: usize) -> Vec<Path> {
     assert!(k >= 1);
-    let mut banned: HashSet<FiberId> = HashSet::new();
-    let mut out = Vec::new();
-    while out.len() < k {
-        let Some(p) = shortest_path_avoiding(
-            net,
-            src,
-            dst,
-            &banned,
-            &HashSet::new(),
-            &HashSet::new(),
-        ) else {
-            break;
-        };
-        banned.extend(p.fibers(net));
-        out.push(p);
+    const SEEDS: usize = 6;
+    let mut best: Vec<Path> = Vec::new();
+    let mut best_weight = f64::INFINITY;
+    for seed in k_shortest_paths(net, src, dst, SEEDS) {
+        let mut banned: HashSet<FiberId> = seed.fibers(net);
+        let mut cur = vec![seed];
+        while cur.len() < k {
+            let Some(p) = shortest_path_avoiding(
+                net,
+                src,
+                dst,
+                &banned,
+                &HashSet::new(),
+                &HashSet::new(),
+            ) else {
+                break;
+            };
+            banned.extend(p.fibers(net));
+            cur.push(p);
+        }
+        let total: f64 = cur.iter().map(|p| p.weight).sum();
+        if cur.len() > best.len() || (cur.len() == best.len() && total < best_weight) {
+            best_weight = total;
+            best = cur;
+        }
     }
-    out
+    best
 }
 
 #[cfg(test)]

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! without `syn`/`quote` (unavailable offline): a small token-tree
+//! walker extracts the type's shape (named/tuple/unit struct, enum
+//! with unit/tuple/struct variants, optional plain generics) and the
+//! impl is emitted as source text and re-parsed. `Serialize` renders
+//! to the vendored `serde::Value` tree; `Deserialize` is a marker
+//! impl so existing derive lines compile.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Lifetime params like `'a` and type params like `T`, in order.
+    generics: Vec<GenericParam>,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum GenericParam {
+    Lifetime(String),
+    Type(String),
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected struct/enum, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+
+    let shape = if kind == "enum" {
+        // Skip a possible `where` clause up to the brace group.
+        let body = find_group(&tokens, &mut i, Delimiter::Brace);
+        Shape::Enum(parse_variants(body))
+    } else {
+        // struct: named { .. }, tuple ( .. );, or unit ;
+        let mut shape = Shape::Unit;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    shape = Shape::Named(parse_named_fields(
+                        g.stream().into_iter().collect::<Vec<_>>().as_slice(),
+                    ));
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    shape = Shape::Tuple(count_top_level_fields(
+                        g.stream().into_iter().collect::<Vec<_>>().as_slice(),
+                    ));
+                    // The `;` (and a possible where clause) follow; done.
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => i += 1, // where-clause tokens
+            }
+        }
+        shape
+    };
+    Input { name, generics, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut lifetime_pending = false;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                lifetime_pending = true;
+            }
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                let s = id.to_string();
+                if lifetime_pending {
+                    params.push(GenericParam::Lifetime(format!("'{s}")));
+                } else if s != "const" {
+                    params.push(GenericParam::Type(s));
+                }
+                lifetime_pending = false;
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn find_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter) -> Vec<TokenTree> {
+    while *i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[*i] {
+            if g.delimiter() == delim {
+                *i += 1;
+                return g.stream().into_iter().collect();
+            }
+        }
+        *i += 1;
+    }
+    panic!("expected a {delim:?}-delimited body");
+}
+
+/// Parses `field: Type, ...` returning field names, skipping attributes,
+/// visibility, and types (angle-bracket aware).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, found {t}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect ':' then skip the type up to a top-level ','.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated entries at angle-depth 0 (tuple-struct arity).
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0
+                // Tolerate a trailing comma.
+                && idx + 1 < tokens.len() => {
+                    count += 1;
+                }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, found {t}"),
+        };
+        i += 1;
+        let mut shape = VariantShape::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match g.delimiter() {
+                Delimiter::Parenthesis => shape = VariantShape::Tuple(count_top_level_fields(&inner)),
+                Delimiter::Brace => shape = VariantShape::Named(parse_named_fields(&inner)),
+                _ => {}
+            }
+            i += 1;
+        }
+        // Skip a discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// `impl<'a, T: serde::Serialize>` header and `Name<'a, T>` use site.
+fn generics_strings(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| match g {
+            GenericParam::Lifetime(l) => l.clone(),
+            GenericParam::Type(t) => format!("{t}: {bound}"),
+        })
+        .collect();
+    let use_: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| match g {
+            GenericParam::Lifetime(l) => l.clone(),
+            GenericParam::Type(t) => t.clone(),
+        })
+        .collect();
+    (format!("<{}>", decl.join(", ")), format!("<{}>", use_.join(", ")))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let (gen_decl, gen_use) = generics_strings(&parsed, "serde::Serialize");
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = if *n == 1 {
+                                "serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from(\"{vn}\"), serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl{gen_decl} serde::Serialize for {name}{gen_use} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let (gen_decl, gen_use) = generics_strings(&parsed, "serde::Deserialize");
+    let name = &parsed.name;
+    let out = format!("impl{gen_decl} serde::Deserialize for {name}{gen_use} {{}}");
+    out.parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_json`: serializes the vendored
+//! [`serde::Value`] data model to JSON text. Only the serialization
+//! half is implemented — nothing in this workspace deserializes.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+
+/// Serialization error (infallible in practice; kept for API parity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `serde_json::Result` parity alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                // Match serde_json's "1.0" rendering for integral floats.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => write_seq(items, indent, level, out),
+        Value::Map(entries) => write_map(entries, indent, level, out),
+    }
+}
+
+fn write_seq(items: &[Value], indent: Option<usize>, level: usize, out: &mut String) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, level + 1, out);
+        write_value(item, indent, level + 1, out);
+    }
+    newline_indent(indent, level, out);
+    out.push(']');
+}
+
+fn write_map(entries: &[(String, Value)], indent: Option<usize>, level: usize, out: &mut String) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, level + 1, out);
+        write_escaped(k, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(v, indent, level + 1, out);
+    }
+    newline_indent(indent, level, out);
+    out.push('}');
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::Int(1), Value::Float(2.5)])),
+            ("b".into(), Value::Str("x\"y".into())),
+            ("c".into(), Value::Null),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            write_value(&v, None, 0, &mut s);
+            s
+        };
+        assert_eq!(compact, r#"{"a":[1,2.5],"b":"x\"y","c":null}"#);
+        let pretty = {
+            let mut s = String::new();
+            write_value(&v, Some(2), 0, &mut s);
+            s
+        };
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    2.5\n  ]"));
+    }
+}
