@@ -1,0 +1,65 @@
+//! `bench_solver` — serial vs parallel vs warm-started TE solver
+//! timings on the WAN topology.
+//!
+//! ```text
+//! Usage: bench_solver [--epochs N] [--out FILE] [--min-speedup X]
+//! ```
+//!
+//! With `--min-speedup X` the process exits non-zero when the
+//! serial-vs-warm speedup falls below `X` — CI's regression gate.
+//!
+//! Writes the full [`prete_bench::runtime::SolverBench`] record
+//! (per-configuration timings plus merged `SolverStats`) to
+//! `BENCH_solver.json` by default; CI uploads that file as an
+//! artifact.
+
+use prete_bench::runtime::bench_solver;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let epochs: usize = flag("--epochs")
+        .map(|v| v.parse().expect("--epochs takes an integer"))
+        .unwrap_or(6);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_solver.json".into());
+
+    let bench = bench_solver(epochs);
+    println!("Solver benchmark: {} epochs on {}", bench.epochs, bench.topology);
+    println!(
+        "  {:<16} {:>7} {:>5} {:>10} {:>10} {:>9} {:>9} {:>7}",
+        "config", "threads", "warm", "total ms", "epoch ms", "lp", "pivots", "hits"
+    );
+    for r in &bench.rows {
+        println!(
+            "  {:<16} {:>7} {:>5} {:>10.1} {:>10.1} {:>9} {:>9} {:>7}",
+            r.config,
+            r.threads,
+            r.warm,
+            r.total_ms,
+            r.mean_epoch_ms,
+            r.stats.lp_solves,
+            r.stats.pivots,
+            r.stats.warm_hits,
+        );
+    }
+    println!("  speedup (serial-cold / warm-parallel-8): {:.2}x", bench.parallel_speedup);
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialize");
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    println!("  [json → {out}]");
+
+    if let Some(min) = flag("--min-speedup") {
+        let min: f64 = min.parse().expect("--min-speedup takes a number");
+        if bench.parallel_speedup < min {
+            eprintln!("speedup {:.2}x below required {min}x", bench.parallel_speedup);
+            std::process::exit(1);
+        }
+    }
+}

@@ -63,7 +63,11 @@ pub fn run() -> Vec<ThreeNodeRow> {
     let created = update_tunnels(&net, &mut updated, FiberId(0), TunnelUpdateConfig::default());
     let scenarios = ScenarioSet::enumerate(&[1.0, 0.009, 0.001], 1, 0.0);
     let problem = TeProblem::new(&net, &flows, &updated, &scenarios);
-    let sol = solve_te(&problem, 0.99, SolveMethod::Heuristic);
+    let sol = TeSolver::new(&problem)
+        .beta(0.99)
+        .method(SolveMethod::Heuristic)
+        .solve()
+        .expect("heuristic solve");
     let delivered: f64 = (0..flows.len()).map(|f| sol.delivered(&problem, f, 0)).sum();
     rows.push(ThreeNodeRow {
         setting: format!("PreTE after degradation ({} new tunnels), s1s2 cut", created.len()),

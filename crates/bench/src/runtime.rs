@@ -35,7 +35,11 @@ pub fn fig11() -> Fig11 {
     let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
     let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
     let t0 = Instant::now();
-    let _ = solve_te(&problem, 0.999, SolveMethod::Heuristic);
+    let _ = TeSolver::new(&problem)
+        .beta(0.999)
+        .method(SolveMethod::Heuristic)
+        .solve()
+        .expect("heuristic solve");
     let measured_te_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
     // The stage breakdown uses the calibrated production-controller
@@ -96,7 +100,11 @@ pub fn fig16b(ratios: &[f64]) -> Vec<RuntimeRow> {
             let probs = est.probabilities(&DegradationState::single(fiber));
             let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
             let problem = TeProblem::new(&net, &flows, &ts, &scenarios);
-            let _ = solve_te(&problem, 0.999, SolveMethod::Heuristic);
+            let _ = TeSolver::new(&problem)
+                .beta(0.999)
+                .method(SolveMethod::Heuristic)
+                .solve()
+                .expect("heuristic solve");
             let te_compute_s = t0.elapsed().as_secs_f64();
             let tunnel_establish_s = lat.update_time_s(created.len());
             rows.push(RuntimeRow {
@@ -110,6 +118,123 @@ pub fn fig16b(ratios: &[f64]) -> Vec<RuntimeRow> {
         }
     }
     rows
+}
+
+/// One solver-benchmark configuration, measured over the whole epoch
+/// workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolverBenchRow {
+    /// Configuration label (`serial-cold`, `parallel-8`, ...).
+    pub config: String,
+    /// Worker threads the solver and precompute were configured with.
+    pub threads: usize,
+    /// Whether a persistent warm-start [`BasisCache`] was attached.
+    pub warm: bool,
+    /// Total wall time across all epochs (ms), including problem
+    /// construction.
+    pub total_ms: f64,
+    /// `total_ms / epochs`.
+    pub mean_epoch_ms: f64,
+    /// Worst expected loss over the workload (identical across
+    /// configurations when warm starting lands on the same vertex).
+    pub max_loss: f64,
+    /// Merged solver counters across all epochs.
+    pub stats: SolverStats,
+}
+
+/// The solver benchmark: serial vs parallel vs warm-started timings on
+/// the WAN topology, serialized to `BENCH_solver.json` by the
+/// `bench_solver` binary.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolverBench {
+    /// Topology name.
+    pub topology: String,
+    /// Number of controller epochs simulated per configuration.
+    pub epochs: usize,
+    /// One row per configuration.
+    pub rows: Vec<SolverBenchRow>,
+    /// `serial-cold` total over `warm-parallel-8` total: the end-to-end
+    /// speedup of the parallel, warm-started solver.
+    pub parallel_speedup: f64,
+}
+
+/// Deterministic per-(epoch, flow) demand jitter in `[0.98, 1.02]` —
+/// a splitmix-style hash so the workload is identical across
+/// configurations and runs without an RNG dependency.
+fn demand_jitter(epoch: usize, flow: usize) -> f64 {
+    let mut h = (epoch as u64 + 1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(flow as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 31;
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + 0.02 * (2.0 * unit - 1.0)
+}
+
+/// Benchmarks the TE solver on the WAN topology over `epochs`
+/// controller epochs with slightly jittered demands, in three
+/// configurations: serial cold (`threads = 1`, no cache), parallel cold
+/// (`threads = 8`), and parallel warm (`threads = 8` plus a persistent
+/// [`BasisCache`] carried across epochs — the controller's steady
+/// state).
+pub fn bench_solver(epochs: usize) -> SolverBench {
+    bench_solver_on(&topologies::twan(), epochs)
+}
+
+/// [`bench_solver`] on an arbitrary topology — the unit tests use B4 so
+/// the debug-mode workload stays in seconds; the WAN run is
+/// release-only.
+pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBench {
+    let model = FailureModel::new(net, SEED);
+    let base_flows = topologies::flows_for(net, 0.08, SEED);
+    let tunnels = TunnelSet::initialize(net, &base_flows, 4);
+    let probs: Vec<f64> = net.fibers().iter().map(|f| model.p_cut(f.id)).collect();
+    // Single-cut scenarios with the negligible tail dropped: keeps the
+    // LP at WAN scale while the smoke benchmark stays in CI budget.
+    let scenarios = ScenarioSet::enumerate(&probs, 1, 1e-4);
+
+    let run = |config: &str, threads: usize, warm: bool| -> SolverBenchRow {
+        let mut cache = BasisCache::new();
+        let mut stats = SolverStats::default();
+        let mut max_loss = 0.0f64;
+        let t0 = Instant::now();
+        for epoch in 0..epochs {
+            let mut flows = base_flows.clone();
+            for (i, f) in flows.iter_mut().enumerate() {
+                f.demand_gbps *= demand_jitter(epoch, i);
+            }
+            let cfg = ProblemConfig { precompute_threads: threads, ..Default::default() };
+            let problem = TeProblem::with_config(net, &flows, &tunnels, &scenarios, cfg);
+            let mut solver = TeSolver::new(&problem)
+                .beta(0.999)
+                .method(SolveMethod::Heuristic)
+                .threads(threads);
+            if warm {
+                solver = solver.warm_cache(&mut cache);
+            }
+            let (sol, s) = solver.solve_with_stats().expect("heuristic solve");
+            stats.merge(&s);
+            max_loss = max_loss.max(sol.max_loss);
+        }
+        let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        SolverBenchRow {
+            config: config.into(),
+            threads,
+            warm,
+            total_ms,
+            mean_epoch_ms: total_ms / epochs.max(1) as f64,
+            max_loss,
+            stats,
+        }
+    };
+
+    let rows = vec![
+        run("serial-cold", 1, false),
+        run("parallel-8", 8, false),
+        run("warm-parallel-8", 8, true),
+    ];
+    let parallel_speedup = rows[0].total_ms / rows[2].total_ms.max(1e-9);
+    SolverBench { topology: net.name.clone(), epochs, rows, parallel_speedup }
 }
 
 #[cfg(test)]
@@ -128,6 +253,32 @@ mod tests {
         // Ratio 0 keeps runtime under a second (paper: "< 1 s if we do
         // not establish any tunnels").
         assert!(b4[0].total_s < 3.0, "{}", b4[0].total_s);
+    }
+
+    #[test]
+    fn solver_bench_rows_are_consistent() {
+        // B4 keeps the debug-mode test in seconds; the binary runs the
+        // WAN-scale version in release mode.
+        let b = bench_solver_on(&topologies::b4(), 3);
+        assert_eq!(b.topology, "B4");
+        assert_eq!(b.rows.len(), 3);
+        let warm = &b.rows[2];
+        assert!(warm.warm && warm.threads == 8);
+        // Epochs 2.. restore the epoch-1 basis: at least one warm hit
+        // per subsequent epoch.
+        assert!(warm.stats.warm_hits >= 2, "warm hits: {}", warm.stats.warm_hits);
+        // All configurations solve the same workload to the same
+        // optimum (vertex may differ; the objective may not).
+        for r in &b.rows[1..] {
+            assert!(
+                (r.max_loss - b.rows[0].max_loss).abs() < 1e-6,
+                "{} max_loss {} vs serial {}",
+                r.config,
+                r.max_loss,
+                b.rows[0].max_loss
+            );
+        }
+        assert!(b.parallel_speedup > 0.0);
     }
 
     #[test]

@@ -44,7 +44,11 @@
 //! let probs = vec![0.005, 0.009, 0.001]; // per-fiber failure probability
 //! let scenarios = ScenarioSet::enumerate(&probs, 2, 1e-9);
 //! let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-//! let sol = solve_te(&problem, 0.99, SolveMethod::BranchAndBound);
+//! let sol = TeSolver::new(&problem)
+//!     .beta(0.99)
+//!     .method(SolveMethod::BranchAndBound)
+//!     .solve()
+//!     .expect("small instance solves within the default budget");
 //! // TeaVaR's conservative optimum admits 10 units (Figure 2(b)).
 //! assert!(sol.max_loss < 1e-6);
 //! ```
@@ -72,13 +76,15 @@ pub mod prelude {
     pub use crate::eval::{AvailabilityEvaluator, AvailabilityReport, EvalConfig};
     pub use crate::gain::max_supported_scale;
     pub use crate::optimizer::{
-        solve_te, try_solve_te, SolveBudget, SolveMethod, TeProblem, TeSolution, TeSolveError,
+        ProblemConfig, SolveBudget, SolveMethod, SolverStats, TeProblem, TeSolution,
+        TeSolveError, TeSolver,
     };
     pub use crate::scenario::{DegradationState, FailureScenario, ScenarioSet};
     pub use crate::schemes::{
         ArrowScheme, EcmpScheme, FfcScheme, FlexileScheme, PreTeScheme, TeScheme,
         TeaVarScheme,
     };
+    pub use prete_lp::BasisCache;
     pub use prete_optical::{Dataset, DatasetConfig, FailureModel};
     pub use prete_topology::{
         topologies, Flow, FlowId, Network, TrafficMatrix, TunnelSet,

@@ -33,9 +33,21 @@
 use crate::capacity::CapacityGroups;
 use crate::scenario::ScenarioSet;
 use prete_lp::{
-    solve, solve_mip, LinearProgram, MipOptions, MipStatus, Sense, SolveStatus, VarId,
+    solve_mip, BasisCache, ConstraintId, LinearProgram, MipOptions, MipStatus, Sense,
+    SimplexOptions, SolveStatus, VarId, WarmSimplex,
 };
 use prete_topology::{Flow, Network, TunnelId, TunnelSet};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Resolves a requested thread count (`0` = all available cores).
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
 
 /// How to solve the scenario-selection MIP.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +75,30 @@ impl SolveMethod {
     }
 }
 
+/// Typed construction knobs for [`TeProblem`] — a config struct instead
+/// of bare positional `f64`/`usize` parameters, so numeric knobs cannot
+/// be transposed silently at call sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProblemConfig {
+    /// Worker threads for the per-flow survival precompute (`0` = all
+    /// available cores, `1` = serial). Flows are processed in fixed
+    /// chunks with per-flow-independent arithmetic, so every thread
+    /// count produces identical results.
+    pub precompute_threads: usize,
+    /// Failure scenarios per flow that get an explicit delivery
+    /// variable in the allocation polish pass (most probable first).
+    pub polish_scenarios_per_flow: usize,
+    /// Slack added to the frozen `Φ` in the polish pass to absorb LP
+    /// round-off.
+    pub polish_slack: f64,
+}
+
+impl Default for ProblemConfig {
+    fn default() -> Self {
+        Self { precompute_threads: 1, polish_scenarios_per_flow: 6, polish_slack: 1e-9 }
+    }
+}
+
 /// A TE problem instance: network, flows with demands, tunnels
 /// (pre-established plus any reactive ones), and the scenario set.
 #[derive(Debug)]
@@ -77,6 +113,8 @@ pub struct TeProblem<'a> {
     pub scenarios: &'a ScenarioSet,
     /// Capacity trunk groups.
     pub groups: CapacityGroups,
+    /// Construction/polish knobs.
+    config: ProblemConfig,
     /// `surviving[f][q]` = tunnel ids of flow `f` alive in scenario `q`.
     surviving: Vec<Vec<Vec<TunnelId>>>,
     /// Per flow: scenario indices (≠ 0) that kill at least one tunnel.
@@ -84,17 +122,29 @@ pub struct TeProblem<'a> {
 }
 
 impl<'a> TeProblem<'a> {
-    /// Builds a problem, precomputing survivals.
+    /// Builds a problem with default [`ProblemConfig`].
     pub fn new(
         net: &'a Network,
         flows: &'a [Flow],
         tunnels: &'a TunnelSet,
         scenarios: &'a ScenarioSet,
     ) -> Self {
+        Self::with_config(net, flows, tunnels, scenarios, ProblemConfig::default())
+    }
+
+    /// Builds a problem, precomputing per-flow tunnel survivals (in
+    /// parallel when `config.precompute_threads > 1`).
+    pub fn with_config(
+        net: &'a Network,
+        flows: &'a [Flow],
+        tunnels: &'a TunnelSet,
+        scenarios: &'a ScenarioSet,
+        config: ProblemConfig,
+    ) -> Self {
         let groups = CapacityGroups::build(net);
-        let mut surviving = Vec::with_capacity(flows.len());
-        let mut affecting = Vec::with_capacity(flows.len());
-        for flow in flows {
+        // Per flow: (surviving tunnels per scenario, affecting scenarios).
+        type FlowSurvival = (Vec<Vec<TunnelId>>, Vec<usize>);
+        let compute = |flow: &Flow| -> FlowSurvival {
             let all = tunnels.of_flow(flow.id).to_vec();
             let mut per_q = Vec::with_capacity(scenarios.len());
             let mut aff = Vec::new();
@@ -109,10 +159,53 @@ impl<'a> TeProblem<'a> {
                 }
                 per_q.push(surv);
             }
-            surviving.push(per_q);
-            affecting.push(aff);
+            (per_q, aff)
+        };
+        let threads = effective_threads(config.precompute_threads);
+        let per_flow: Vec<FlowSurvival> = if threads > 1 && flows.len() > 1 {
+            // Fixed chunking over disjoint output slices: each flow is
+            // computed independently, so the fan-out is bit-identical
+            // to the serial loop at any thread count.
+            let mut out: Vec<Option<FlowSurvival>> = vec![None; flows.len()];
+            let chunk = flows.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (outs, fls) in out.chunks_mut(chunk).zip(flows.chunks(chunk)) {
+                    s.spawn(move || {
+                        for (o, flow) in outs.iter_mut().zip(fls) {
+                            *o = Some(compute(flow));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|o| o.expect("chunk filled")).collect()
+        } else {
+            flows.iter().map(compute).collect()
+        };
+        let (surviving, affecting) = per_flow.into_iter().unzip();
+        Self { net, flows, tunnels, scenarios, groups, config, surviving, affecting }
+    }
+
+    /// The configuration this problem was built with.
+    pub fn config(&self) -> ProblemConfig {
+        self.config
+    }
+
+    /// A hash of the problem's structural skeleton (flow/tunnel/scenario
+    /// counts and per-flow affecting sets) — the key under which warm
+    /// bases are cached across solves. Two problems with equal keys have
+    /// LPs of identical shape; coefficient drift (demands, capacities)
+    /// is fine because a restored basis revalidates structurally.
+    pub fn structure_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.flows.len().hash(&mut h);
+        self.tunnels.len().hash(&mut h);
+        self.scenarios.len().hash(&mut h);
+        self.groups.len().hash(&mut h);
+        for aff in &self.affecting {
+            aff.hash(&mut h);
         }
-        Self { net, flows, tunnels, scenarios, groups, surviving, affecting }
+        h.finish()
     }
 
     /// Tunnels of flow `f` (by dense index) surviving scenario `q`.
@@ -142,6 +235,7 @@ impl<'a> TeProblem<'a> {
 }
 
 /// A solved TE policy.
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct TeSolution {
     /// Allocated bandwidth per tunnel (indexed by [`TunnelId`]).
@@ -175,18 +269,239 @@ impl TeSolution {
     }
 }
 
+/// Observability counters for one TE solve, returned by
+/// [`TeSolver::solve_with_stats`] and aggregated per epoch by the
+/// simulation controllers.
+///
+/// Wall-clock fields (`*_ms`) are measurements and vary run to run;
+/// every other field is a deterministic work-unit count. Equality
+/// (`PartialEq`) compares **only** the deterministic fields, so reports
+/// embedding stats keep the repo's bit-identical-replay guarantees.
+#[must_use]
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SolverStats {
+    /// End-to-end wall time of the solve.
+    pub total_ms: f64,
+    /// Wall time in subproblem LP solves (cold + warm).
+    pub subproblem_ms: f64,
+    /// Wall time in Benders master / B&B MIP solves.
+    pub master_ms: f64,
+    /// Wall time in the allocation polish LP.
+    pub polish_ms: f64,
+    /// LP solves performed (subproblem, polish and warm re-solves;
+    /// B&B node relaxations are counted under `mip_nodes`).
+    pub lp_solves: usize,
+    /// Simplex pivots across the tracked LP solves.
+    pub pivots: usize,
+    /// Benders iterations (0 for the other methods).
+    pub benders_iters: usize,
+    /// Benders optimality cuts added to the master.
+    pub cuts_added: usize,
+    /// Branch-and-bound nodes explored (master + exact MIP).
+    pub mip_nodes: usize,
+    /// Warm starts that restored a cached or live basis.
+    pub warm_hits: usize,
+    /// Solves that wanted a warm start but fell back cold.
+    pub warm_misses: usize,
+    /// Rhs-only dual-simplex re-solves inside the Benders loop.
+    pub rhs_resolves: usize,
+    /// Worker threads the solve was configured with.
+    pub threads: usize,
+}
+
+impl SolverStats {
+    /// Accumulates another solve's counters into this one (wall times
+    /// and work units add; `threads` keeps the maximum seen).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.total_ms += other.total_ms;
+        self.subproblem_ms += other.subproblem_ms;
+        self.master_ms += other.master_ms;
+        self.polish_ms += other.polish_ms;
+        self.lp_solves += other.lp_solves;
+        self.pivots += other.pivots;
+        self.benders_iters += other.benders_iters;
+        self.cuts_added += other.cuts_added;
+        self.mip_nodes += other.mip_nodes;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+        self.rhs_resolves += other.rhs_resolves;
+        self.threads = self.threads.max(other.threads);
+    }
+
+    /// Fraction of warm-start attempts that hit, in `[0, 1]` (0 when
+    /// warm starting never applied).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+impl PartialEq for SolverStats {
+    /// Deterministic work-unit fields only — wall-clock measurements
+    /// and the machine-dependent thread count are excluded so replays
+    /// on any machine compare equal when they did the same work.
+    fn eq(&self, other: &Self) -> bool {
+        self.lp_solves == other.lp_solves
+            && self.pivots == other.pivots
+            && self.benders_iters == other.benders_iters
+            && self.cuts_added == other.cuts_added
+            && self.mip_nodes == other.mip_nodes
+            && self.warm_hits == other.warm_hits
+            && self.warm_misses == other.warm_misses
+            && self.rhs_resolves == other.rhs_resolves
+    }
+}
+
+/// Builder for TE solves: owns `beta`, the [`SolveMethod`], the
+/// [`SolveBudget`], the thread count and an optional warm-start
+/// [`BasisCache`], replacing the positional-argument
+/// `solve_te(problem, beta, method)` family.
+///
+/// ```
+/// use prete_core::prelude::*;
+///
+/// let net = prete_core::examples::triangle();
+/// let flows = prete_core::examples::triangle_flows();
+/// let tunnels = TunnelSet::initialize(&net, &flows, 2);
+/// let scenarios = ScenarioSet::enumerate(&[0.005, 0.009, 0.001], 2, 1e-9);
+/// let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+/// let sol = TeSolver::new(&problem)
+///     .beta(0.99)
+///     .method(SolveMethod::benders())
+///     .solve()
+///     .expect("within budget");
+/// assert!(sol.max_loss < 1e-6);
+/// ```
+#[must_use]
+#[derive(Debug)]
+pub struct TeSolver<'p, 'a, 'c> {
+    problem: &'p TeProblem<'a>,
+    beta: f64,
+    method: SolveMethod,
+    budget: SolveBudget,
+    threads: usize,
+    cache: Option<&'c mut BasisCache>,
+}
+
+impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
+    /// Creates a solver for `problem` with defaults: `beta = 0.99`,
+    /// [`SolveMethod::Heuristic`], the default [`SolveBudget`], all
+    /// available cores, no warm-start cache.
+    pub fn new(problem: &'p TeProblem<'a>) -> Self {
+        Self {
+            problem,
+            beta: 0.99,
+            method: SolveMethod::Heuristic,
+            budget: SolveBudget::default(),
+            threads: 0,
+            cache: None,
+        }
+    }
+
+    /// Availability target `β ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `beta` is outside `(0, 1)` — a caller bug, caught at
+    /// build time instead of deep inside a solve.
+    pub fn beta(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1), got {beta}");
+        self.beta = beta;
+        self
+    }
+
+    /// Solve method (heuristic, Benders, exact branch-and-bound).
+    pub fn method(mut self, method: SolveMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Deterministic work budget.
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Worker threads (`0` = all available cores). Any value produces
+    /// bit-identical solutions; see DESIGN.md "Solver architecture".
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Warm-starts LP solves from `cache` (keyed by
+    /// [`TeProblem::structure_key`]) and saves the optimal bases back,
+    /// so successive epochs skip simplex phase 1.
+    pub fn warm_cache(mut self, cache: &'c mut BasisCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs the solve.
+    pub fn solve(self) -> Result<TeSolution, TeSolveError> {
+        self.solve_with_stats().map(|(sol, _)| sol)
+    }
+
+    /// Runs the solve and reports [`SolverStats`] alongside the
+    /// solution.
+    pub fn solve_with_stats(self) -> Result<(TeSolution, SolverStats), TeSolveError> {
+        let t0 = Instant::now();
+        let threads = effective_threads(self.threads);
+        let mut ctx = SolveCtx {
+            problem: self.problem,
+            threads,
+            cache: self.cache,
+            stats: SolverStats { threads, ..SolverStats::default() },
+        };
+        let budget = self.budget;
+        let result = match self.method {
+            SolveMethod::Heuristic => {
+                if budget.max_benders_iters == 0 && budget.max_mip_nodes == 0 {
+                    Err(TeSolveError::BudgetExceeded { nodes: 0 })
+                } else {
+                    Ok(ctx.heuristic(self.beta))
+                }
+            }
+            SolveMethod::Benders { eps, max_iters } => {
+                let cap = max_iters.min(budget.max_benders_iters);
+                if cap == 0 {
+                    Err(TeSolveError::BudgetExceeded { nodes: 0 })
+                } else {
+                    Ok(ctx.benders(self.beta, eps, cap))
+                }
+            }
+            SolveMethod::BranchAndBound => {
+                if budget.max_mip_nodes == 0 {
+                    Err(TeSolveError::BudgetExceeded { nodes: 0 })
+                } else {
+                    let opts = MipOptions {
+                        max_nodes: budget.max_mip_nodes,
+                        simplex: ctx.simplex_opts(),
+                        ..MipOptions::default()
+                    };
+                    ctx.bnb(self.beta, opts)
+                }
+            }
+        };
+        ctx.stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        result.map(|sol| (sol, ctx.stats))
+    }
+}
+
 /// Solves the TE program for availability target `beta`.
 ///
 /// # Panics
-/// Panics if `beta` is not in (0, 1) or a flow's required probability
-/// mass cannot be met by the scenario set (increase the enumeration
-/// cutoff).
+/// Panics if `beta` is not in (0, 1) or the program is infeasible.
+#[deprecated(
+    note = "use the `TeSolver` builder: `TeSolver::new(problem).beta(beta).method(method).solve()`"
+)]
 pub fn solve_te(problem: &TeProblem<'_>, beta: f64, method: SolveMethod) -> TeSolution {
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
-    match method {
-        SolveMethod::Heuristic => solve_heuristic(problem, beta),
-        SolveMethod::Benders { eps, max_iters } => solve_benders(problem, beta, eps, max_iters),
-        SolveMethod::BranchAndBound => solve_bnb(problem, beta),
+    match TeSolver::new(problem).beta(beta).method(method).solve() {
+        Ok(sol) => sol,
+        Err(e) => panic!("exact solve failed: {e}"),
     }
 }
 
@@ -197,6 +512,7 @@ pub fn solve_te(problem: &TeProblem<'_>, beta: f64, method: SolveMethod) -> TeSo
 /// with a fixed fault plan produces bit-identical results on any
 /// machine. The controller converts its wall-clock deadline into work
 /// units once, up front, via its latency model.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveBudget {
     /// Maximum branch-and-bound nodes for a MIP solve.
@@ -264,35 +580,17 @@ impl std::error::Error for TeSolveError {}
 /// # Panics
 /// Panics if `beta` is not in (0, 1) — a caller bug, not a runtime
 /// fault.
+#[deprecated(
+    note = "use the `TeSolver` builder: \
+            `TeSolver::new(problem).beta(beta).method(method).budget(budget).solve()`"
+)]
 pub fn try_solve_te(
     problem: &TeProblem<'_>,
     beta: f64,
     method: SolveMethod,
     budget: SolveBudget,
 ) -> Result<TeSolution, TeSolveError> {
-    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
-    match method {
-        SolveMethod::Heuristic => {
-            if budget.max_benders_iters == 0 && budget.max_mip_nodes == 0 {
-                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
-            }
-            Ok(solve_heuristic(problem, beta))
-        }
-        SolveMethod::Benders { eps, max_iters } => {
-            let cap = max_iters.min(budget.max_benders_iters);
-            if cap == 0 {
-                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
-            }
-            Ok(solve_benders(problem, beta, eps, cap))
-        }
-        SolveMethod::BranchAndBound => {
-            if budget.max_mip_nodes == 0 {
-                return Err(TeSolveError::BudgetExceeded { nodes: 0 });
-            }
-            let opts = MipOptions { max_nodes: budget.max_mip_nodes, ..Default::default() };
-            solve_bnb_with(problem, beta, opts)
-        }
-    }
+    TeSolver::new(problem).beta(beta).method(method).budget(budget).solve()
 }
 
 /// Per-flow greedy δ: scenario 0 plus affecting scenarios in decreasing
@@ -335,14 +633,253 @@ struct SubproblemResult {
     cov_duals: Vec<(usize, usize, f64)>,
 }
 
-fn solve_subproblem(problem: &TeProblem<'_>, delta: &[Vec<usize>]) -> SubproblemResult {
+/// Cache-key salts separating the LP families that share one problem
+/// structure (a basis from one family must not seed another; the
+/// structural signature would reject it anyway, but separate keys keep
+/// the hit-rate numbers honest).
+const CACHE_SALT_HEURISTIC: u64 = 0x5eed_0001;
+const CACHE_SALT_BENDERS: u64 = 0x5eed_0002;
+const CACHE_SALT_POLISH: u64 = 0x5eed_0003;
+
+fn hash_delta(delta: &[Vec<usize>]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    delta.hash(&mut h);
+    h.finish()
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Per-solve context: configuration plus the stats being accumulated.
+struct SolveCtx<'p, 'a, 'c> {
+    problem: &'p TeProblem<'a>,
+    threads: usize,
+    cache: Option<&'c mut BasisCache>,
+    stats: SolverStats,
+}
+
+impl SolveCtx<'_, '_, '_> {
+    fn simplex_opts(&self) -> SimplexOptions {
+        SimplexOptions { threads: self.threads, ..SimplexOptions::default() }
+    }
+
+    /// Solves `lp`, seeding from the basis cached under `key` when a
+    /// cache is attached, and saves the optimal basis back.
+    fn warm_solve(&mut self, lp: &LinearProgram, key: u64) -> prete_lp::Solution {
+        let mut ws = WarmSimplex::new(self.simplex_opts());
+        let warm = self.cache.as_mut().and_then(|c| c.get(key)).cloned();
+        let (sol, used) = ws.solve_from(lp, warm.as_ref());
+        if self.cache.is_some() {
+            if used {
+                self.stats.warm_hits += 1;
+            } else {
+                self.stats.warm_misses += 1;
+            }
+        }
+        self.stats.lp_solves += 1;
+        self.stats.pivots += sol.iterations;
+        if let Some(b) = ws.basis() {
+            if let Some(c) = self.cache.as_mut() {
+                c.put(key, b);
+            }
+        }
+        sol
+    }
+
+    /// Builds and solves the selected-rows subproblem LP (heuristic
+    /// path: one LP per solve, warm-started across epochs).
+    fn subproblem(&mut self, delta: &[Vec<usize>]) -> SubproblemResult {
+        let t0 = Instant::now();
+        let problem = self.problem;
+        let n_tunnels = problem.tunnels.len();
+        let mut lp = LinearProgram::new();
+        let a_vars: Vec<VarId> =
+            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+        let phi = lp.add_var(0.0, f64::INFINITY, 1.0);
+
+        // Capacity rows (Eqn 3), per trunk group.
+        let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
+        for t in problem.tunnels.tunnels() {
+            for g in problem.groups.groups_of_path(&t.path.links) {
+                group_terms[g].push((a_vars[t.id.index()], 1.0));
+            }
+        }
+        let mut cap_rows = Vec::with_capacity(problem.groups.len());
+        for (g, terms) in group_terms.into_iter().enumerate() {
+            cap_rows.push(lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g)));
+        }
+
+        // Coverage rows: Σ surviving a + d·Φ ≥ d for each selected (f, q).
+        let mut cov_rows = Vec::new();
+        for (f, selected) in delta.iter().enumerate() {
+            let d = problem.flows[f].demand_gbps;
+            if d <= 0.0 {
+                continue;
+            }
+            for &qi in selected {
+                let mut terms: Vec<(VarId, f64)> = problem
+                    .surviving(f, qi)
+                    .iter()
+                    .map(|&t| (a_vars[t.index()], 1.0))
+                    .collect();
+                terms.push((phi, d));
+                let row = lp.add_constraint(terms, Sense::Ge, d);
+                cov_rows.push((f, qi, row));
+            }
+        }
+
+        let key = problem.structure_key() ^ CACHE_SALT_HEURISTIC ^ hash_delta(delta);
+        let sol = self.warm_solve(&lp, key);
+        assert_eq!(
+            sol.status,
+            SolveStatus::Optimal,
+            "subproblem must be solvable (Φ = 1 is always feasible)"
+        );
+        self.stats.subproblem_ms += ms_since(t0);
+        SubproblemResult {
+            allocation: a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect(),
+            phi: sol.value(phi).max(0.0),
+            cap_duals: cap_rows.iter().map(|&r| sol.duals[r.index()]).collect(),
+            cov_duals: cov_rows
+                .iter()
+                .map(|&(f, qi, r)| (f, qi, sol.duals[r.index()].max(0.0)))
+                .collect(),
+        }
+    }
+
+    fn heuristic(&mut self, beta: f64) -> TeSolution {
+        let delta = greedy_delta(self.problem, beta);
+        let sp = self.subproblem(&delta);
+        let allocation = self.polish(&delta, sp.phi);
+        TeSolution { allocation, max_loss: sp.phi, delta, lp_solves: 2, benders_iters: 0 }
+    }
+
+    /// Lexicographic second pass: with `Φ` fixed at its optimum, choose
+    /// among the optimal allocations the one that maximizes the
+    /// probability-weighted delivered fraction across the no-failure
+    /// scenario and the selected failure scenarios, then fills spare
+    /// capacity.
+    ///
+    /// The min-Φ LP alone returns a *minimal* vertex — allocations
+    /// exactly meeting `(1 − Φ)d` — which would make flows artificially
+    /// lossy even in scenarios where spare capacity could cover them in
+    /// full. Real TE systems hand spare capacity back to the flows;
+    /// this pass models that, and because the weights are the scenario
+    /// probabilities it is a direct surrogate for the availability the
+    /// evaluator measures.
+    fn polish(&mut self, delta: &[Vec<usize>], phi: f64) -> Vec<f64> {
+        let t0 = Instant::now();
+        let problem = self.problem;
+        let cfg = problem.config();
+        let n_tunnels = problem.tunnels.len();
+        let total_demand: f64 = problem.flows.iter().map(|f| f.demand_gbps).sum();
+        let mean_demand = (total_demand / problem.flows.len().max(1) as f64).max(1e-9);
+        let p0 = problem.scenarios.scenarios[0].prob.max(1e-12);
+        let mut lp = LinearProgram::new();
+        let a_vars: Vec<VarId> =
+            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, -1e-6)).collect();
+        // Fairness tie-break on the worst no-failure delivered fraction.
+        let z = lp.add_var(0.0, 1.0, -0.01 * total_demand.max(1.0));
+
+        // Capacity rows.
+        let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
+        for t in problem.tunnels.tunnels() {
+            for g in problem.groups.groups_of_path(&t.path.links) {
+                group_terms[g].push((a_vars[t.id.index()], 1.0));
+            }
+        }
+        for (g, terms) in group_terms.into_iter().enumerate() {
+            lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g));
+        }
+        // Coverage rows with Φ frozen (small slack absorbs LP
+        // round-off), plus delivery vars s_{f,q} ≤ min(d_f, Σ surv a).
+        let phi_slack = phi + cfg.polish_slack;
+        for (f, selected) in delta.iter().enumerate() {
+            let d = problem.flows[f].demand_gbps;
+            if d <= 0.0 {
+                continue;
+            }
+            // Pick q0 plus the most probable selected failure scenarios.
+            let mut with_delivery: Vec<usize> =
+                selected.iter().copied().filter(|&q| q != 0).collect();
+            with_delivery.sort_by(|&a, &b| {
+                problem.scenarios.scenarios[b]
+                    .prob
+                    .partial_cmp(&problem.scenarios.scenarios[a].prob)
+                    .expect("finite")
+            });
+            with_delivery.truncate(cfg.polish_scenarios_per_flow);
+            for &qi in selected {
+                let cover: Vec<(VarId, f64)> = problem
+                    .surviving(f, qi)
+                    .iter()
+                    .map(|&t| (a_vars[t.index()], 1.0))
+                    .collect();
+                lp.add_constraint(cover, Sense::Ge, d * (1.0 - phi_slack));
+            }
+            for &qi in std::iter::once(&0usize).chain(&with_delivery) {
+                let weight = if qi == 0 {
+                    1.0
+                } else {
+                    (problem.scenarios.scenarios[qi].prob / p0).min(1.0)
+                };
+                let s = lp.add_var(0.0, d, -weight * mean_demand / d);
+                let mut terms: Vec<(VarId, f64)> = problem
+                    .surviving(f, qi)
+                    .iter()
+                    .map(|&t| (a_vars[t.index()], 1.0))
+                    .collect();
+                terms.push((s, -1.0));
+                lp.add_constraint(terms, Sense::Ge, 0.0);
+                if qi == 0 {
+                    lp.add_constraint(vec![(s, 1.0), (z, -d)], Sense::Ge, 0.0);
+                }
+            }
+        }
+        let key = problem.structure_key() ^ CACHE_SALT_POLISH ^ hash_delta(delta);
+        let sol = self.warm_solve(&lp, key);
+        self.stats.polish_ms += ms_since(t0);
+        if sol.status != SolveStatus::Optimal {
+            // Extremely defensive: fall back to the primary solution
+            // shape by re-solving the plain subproblem.
+            return self.subproblem(delta).allocation;
+        }
+        a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect()
+    }
+}
+
+/// One Benders optimality cut (Eqn 11): `Φ ≥ const + Σ w_{f,q} δ_{f,q}`.
+struct Cut {
+    constant: f64,
+    /// (flow, scenario, weight ≥ 0).
+    weights: Vec<(usize, usize, f64)>,
+}
+
+/// The materialized Benders subproblem LP: coverage rows exist for
+/// *every* (flow, scenario 0 ∪ affecting) pair, and a selection δ is
+/// imposed purely through the right-hand side (`d` when selected, `0`
+/// — a vacuous row, since all variables are non-negative — when not).
+/// Because iterations only move the rhs, every solve after the first
+/// is a dual-simplex re-solve on the live tableau instead of a cold
+/// two-phase run.
+struct BendersLp {
+    lp: LinearProgram,
+    a_vars: Vec<VarId>,
+    phi: VarId,
+    cap_rows: Vec<ConstraintId>,
+    /// (flow, scenario, row, demand) for every materialized row.
+    cov_rows: Vec<(usize, usize, ConstraintId, f64)>,
+}
+
+fn build_benders_lp(problem: &TeProblem<'_>) -> BendersLp {
     let n_tunnels = problem.tunnels.len();
     let mut lp = LinearProgram::new();
     let a_vars: Vec<VarId> =
         (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
     let phi = lp.add_var(0.0, f64::INFINITY, 1.0);
 
-    // Capacity rows (Eqn 3), per trunk group.
     let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
     for t in problem.tunnels.tunnels() {
         for g in problem.groups.groups_of_path(&t.path.links) {
@@ -354,14 +891,15 @@ fn solve_subproblem(problem: &TeProblem<'_>, delta: &[Vec<usize>]) -> Subproblem
         cap_rows.push(lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g)));
     }
 
-    // Coverage rows: Σ surviving a + d·Φ ≥ d for each selected (f, q).
     let mut cov_rows = Vec::new();
-    for (f, selected) in delta.iter().enumerate() {
+    for f in 0..problem.flows.len() {
         let d = problem.flows[f].demand_gbps;
         if d <= 0.0 {
             continue;
         }
-        for &qi in selected {
+        let mut rows = vec![0usize];
+        rows.extend_from_slice(problem.affecting(f));
+        for qi in rows {
             let mut terms: Vec<(VarId, f64)> = problem
                 .surviving(f, qi)
                 .iter()
@@ -369,204 +907,155 @@ fn solve_subproblem(problem: &TeProblem<'_>, delta: &[Vec<usize>]) -> Subproblem
                 .collect();
             terms.push((phi, d));
             let row = lp.add_constraint(terms, Sense::Ge, d);
-            cov_rows.push((f, qi, row));
+            cov_rows.push((f, qi, row, d));
         }
     }
+    BendersLp { lp, a_vars, phi, cap_rows, cov_rows }
+}
 
-    let sol = solve(&lp);
-    assert_eq!(
-        sol.status,
-        SolveStatus::Optimal,
-        "subproblem must be solvable (Φ = 1 is always feasible)"
-    );
+fn set_benders_rhs(b: &mut BendersLp, delta: &[Vec<usize>]) {
+    for &(f, qi, row, d) in &b.cov_rows {
+        let rhs = if delta[f].contains(&qi) { d } else { 0.0 };
+        b.lp.set_rhs(row, rhs);
+    }
+}
+
+fn extract_subproblem(sol: &prete_lp::Solution, b: &BendersLp) -> SubproblemResult {
     SubproblemResult {
-        allocation: a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect(),
-        phi: sol.value(phi).max(0.0),
-        cap_duals: cap_rows.iter().map(|&r| sol.duals[r.index()]).collect(),
-        cov_duals: cov_rows
+        allocation: b.a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect(),
+        phi: sol.value(b.phi).max(0.0),
+        cap_duals: b.cap_rows.iter().map(|&r| sol.duals[r.index()]).collect(),
+        cov_duals: b
+            .cov_rows
             .iter()
-            .map(|&(f, qi, r)| (f, qi, sol.duals[r.index()].max(0.0)))
+            .map(|&(f, qi, r, _)| (f, qi, sol.duals[r.index()].max(0.0)))
             .collect(),
     }
 }
 
-fn solve_heuristic(problem: &TeProblem<'_>, beta: f64) -> TeSolution {
-    let delta = greedy_delta(problem, beta);
-    let sp = solve_subproblem(problem, &delta);
-    let allocation = polish_allocation(problem, &delta, sp.phi);
-    TeSolution {
-        allocation,
-        max_loss: sp.phi,
-        delta,
-        lp_solves: 2,
-        benders_iters: 0,
-    }
-}
+impl SolveCtx<'_, '_, '_> {
+    fn benders(&mut self, beta: f64, eps: f64, max_iters: usize) -> TeSolution {
+        let problem = self.problem;
+        // Initialization (Algorithm 2 lines 2–4): δ = 1 for all rows we
+        // materialize (scenario 0 + affecting), UB = 1, LB = 0, C = ∅.
+        let all_delta: Vec<Vec<usize>> = (0..problem.flows.len())
+            .map(|f| {
+                let mut v = vec![0usize];
+                v.extend_from_slice(problem.affecting(f));
+                v
+            })
+            .collect();
+        let mut b = build_benders_lp(problem);
+        let key = problem.structure_key() ^ CACHE_SALT_BENDERS;
+        let mut ws = WarmSimplex::new(self.simplex_opts());
 
-/// Lexicographic second pass: with `Φ` fixed at its optimum, choose
-/// among the optimal allocations the one that maximizes the
-/// probability-weighted delivered fraction across the no-failure
-/// scenario and the selected failure scenarios, then fills spare
-/// capacity.
-///
-/// The min-Φ LP alone returns a *minimal* vertex — allocations exactly
-/// meeting `(1 − Φ)d` — which would make flows artificially lossy even
-/// in scenarios where spare capacity could cover them in full. Real TE
-/// systems hand spare capacity back to the flows; this pass models
-/// that, and because the weights are the scenario probabilities it is
-/// a direct surrogate for the availability the evaluator measures.
-fn polish_allocation(problem: &TeProblem<'_>, delta: &[Vec<usize>], phi: f64) -> Vec<f64> {
-    /// Per flow, the failure scenarios (beyond q0) that get an explicit
-    /// delivery variable — the most probable ones dominate availability.
-    const POLISH_SCENARIOS_PER_FLOW: usize = 6;
+        let mut delta = all_delta.clone();
+        let mut ub = f64::INFINITY;
+        let mut lb: f64 = 0.0;
+        let mut cuts: Vec<Cut> = Vec::new();
+        let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+        let mut lp_solves = 0usize;
+        let mut iters = 0usize;
 
-    let n_tunnels = problem.tunnels.len();
-    let total_demand: f64 = problem.flows.iter().map(|f| f.demand_gbps).sum();
-    let mean_demand = (total_demand / problem.flows.len().max(1) as f64).max(1e-9);
-    let p0 = problem.scenarios.scenarios[0].prob.max(1e-12);
-    let mut lp = LinearProgram::new();
-    let a_vars: Vec<VarId> =
-        (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, -1e-6)).collect();
-    // Fairness tie-break on the worst no-failure delivered fraction.
-    let z = lp.add_var(0.0, 1.0, -0.01 * total_demand.max(1.0));
-
-    // Capacity rows.
-    let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
-    for t in problem.tunnels.tunnels() {
-        for g in problem.groups.groups_of_path(&t.path.links) {
-            group_terms[g].push((a_vars[t.id.index()], 1.0));
-        }
-    }
-    for (g, terms) in group_terms.into_iter().enumerate() {
-        lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g));
-    }
-    // Coverage rows with Φ frozen (small slack absorbs LP round-off),
-    // plus delivery variables s_{f,q} ≤ min(d_f, Σ surviving a).
-    let phi_slack = phi + 1e-9;
-    for (f, selected) in delta.iter().enumerate() {
-        let d = problem.flows[f].demand_gbps;
-        if d <= 0.0 {
-            continue;
-        }
-        // Pick q0 plus the most probable selected failure scenarios.
-        let mut with_delivery: Vec<usize> = selected.iter().copied().filter(|&q| q != 0).collect();
-        with_delivery.sort_by(|&a, &b| {
-            problem.scenarios.scenarios[b]
-                .prob
-                .partial_cmp(&problem.scenarios.scenarios[a].prob)
-                .expect("finite")
-        });
-        with_delivery.truncate(POLISH_SCENARIOS_PER_FLOW);
-        for &qi in selected {
-            let cover: Vec<(VarId, f64)> = problem
-                .surviving(f, qi)
-                .iter()
-                .map(|&t| (a_vars[t.index()], 1.0))
-                .collect();
-            lp.add_constraint(cover, Sense::Ge, d * (1.0 - phi_slack));
-        }
-        for &qi in std::iter::once(&0usize).chain(&with_delivery) {
-            let weight = if qi == 0 {
-                1.0
+        while iters < max_iters {
+            iters += 1;
+            // Step 1: subproblem with fixed δ. The first iteration is a
+            // (possibly cache-seeded) full solve; later ones are
+            // rhs-only dual-simplex moves on the live tableau.
+            let t0 = Instant::now();
+            set_benders_rhs(&mut b, &delta);
+            let sol = if iters == 1 {
+                let warm = self.cache.as_mut().and_then(|c| c.get(key)).cloned();
+                let (sol, used) = ws.solve_from(&b.lp, warm.as_ref());
+                if self.cache.is_some() {
+                    if used {
+                        self.stats.warm_hits += 1;
+                    } else {
+                        self.stats.warm_misses += 1;
+                    }
+                }
+                sol
             } else {
-                (problem.scenarios.scenarios[qi].prob / p0).min(1.0)
+                let (sol, live) = ws.resolve_rhs(&b.lp);
+                if live {
+                    self.stats.rhs_resolves += 1;
+                }
+                sol
             };
-            let s = lp.add_var(0.0, d, -weight * mean_demand / d);
-            let mut terms: Vec<(VarId, f64)> = problem
-                .surviving(f, qi)
+            self.stats.lp_solves += 1;
+            self.stats.subproblem_ms += ms_since(t0);
+            assert_eq!(
+                sol.status,
+                SolveStatus::Optimal,
+                "subproblem must be solvable (Φ = 1 is always feasible)"
+            );
+            let sp = extract_subproblem(&sol, &b);
+            lp_solves += 1;
+            if sp.phi < ub {
+                ub = sp.phi;
+                best = Some((sp.phi, delta.clone()));
+            }
+            // Optimality cut: Φ ≥ Σ_g y_g c_g + Σ v_{f,q} d_f δ_{f,q}.
+            let constant: f64 = sp
+                .cap_duals
                 .iter()
-                .map(|&t| (a_vars[t.index()], 1.0))
+                .enumerate()
+                .map(|(g, &y)| y * problem.groups.capacity(g))
+                .sum();
+            let weights: Vec<(usize, usize, f64)> = sp
+                .cov_duals
+                .iter()
+                .filter(|&&(_, _, v)| v > 1e-12)
+                .map(|&(f, qi, v)| (f, qi, v * problem.flows[f].demand_gbps))
                 .collect();
-            terms.push((s, -1.0));
-            lp.add_constraint(terms, Sense::Ge, 0.0);
-            if qi == 0 {
-                lp.add_constraint(vec![(s, 1.0), (z, -d)], Sense::Ge, 0.0);
+            cuts.push(Cut { constant, weights });
+            self.stats.cuts_added += 1;
+            if ub - lb <= eps {
+                break;
+            }
+            // Step 2: master problem.
+            let t1 = Instant::now();
+            let (new_delta, master_obj, nodes) =
+                solve_master(problem, beta, &cuts, &all_delta, self.simplex_opts());
+            self.stats.master_ms += ms_since(t1);
+            self.stats.mip_nodes += nodes;
+            self.stats.lp_solves += 1;
+            lp_solves += 1;
+            lb = lb.max(master_obj);
+            if ub - lb <= eps {
+                break;
+            }
+            delta = new_delta;
+        }
+        self.stats.pivots += ws.pivots();
+        self.stats.benders_iters = iters;
+        if let Some(basis) = ws.basis() {
+            if let Some(c) = self.cache.as_mut() {
+                c.put(key, basis);
             }
         }
-    }
-    let sol = solve(&lp);
-    if sol.status != SolveStatus::Optimal {
-        // Extremely defensive: fall back to the primary solution shape
-        // by re-solving the plain subproblem.
-        return solve_subproblem(problem, delta).allocation;
-    }
-    a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect()
-}
-
-/// One Benders optimality cut (Eqn 11): `Φ ≥ const + Σ w_{f,q} δ_{f,q}`.
-struct Cut {
-    constant: f64,
-    /// (flow, scenario, weight ≥ 0).
-    weights: Vec<(usize, usize, f64)>,
-}
-
-fn solve_benders(problem: &TeProblem<'_>, beta: f64, eps: f64, max_iters: usize) -> TeSolution {
-    // Initialization (Algorithm 2 lines 2–4): δ = 1 for all rows we
-    // materialize (scenario 0 + affecting), UB = 1, LB = 0, C = ∅.
-    let all_delta: Vec<Vec<usize>> = (0..problem.flows.len())
-        .map(|f| {
-            let mut v = vec![0usize];
-            v.extend_from_slice(problem.affecting(f));
-            v
-        })
-        .collect();
-    let mut delta = all_delta.clone();
-    let mut ub = f64::INFINITY;
-    let mut lb: f64 = 0.0;
-    let mut cuts: Vec<Cut> = Vec::new();
-    let mut best: Option<(Vec<f64>, f64, Vec<Vec<usize>>)> = None;
-    let mut lp_solves = 0usize;
-    let mut iters = 0usize;
-
-    while iters < max_iters {
-        iters += 1;
-        // Step 1: subproblem with fixed δ.
-        let sp = solve_subproblem(problem, &delta);
-        lp_solves += 1;
-        if sp.phi < ub {
-            ub = sp.phi;
-            best = Some((sp.allocation.clone(), sp.phi, delta.clone()));
+        let (phi, delta) = best.expect("at least one subproblem solved");
+        let allocation = self.polish(&delta, phi);
+        TeSolution {
+            allocation,
+            max_loss: phi,
+            delta,
+            lp_solves: lp_solves + 1,
+            benders_iters: iters,
         }
-        // Optimality cut: Φ ≥ Σ_g y_g c_g + Σ v_{f,q} d_f δ_{f,q}.
-        let constant: f64 = sp
-            .cap_duals
-            .iter()
-            .enumerate()
-            .map(|(g, &y)| y * problem.groups.capacity(g))
-            .sum();
-        let weights: Vec<(usize, usize, f64)> = sp
-            .cov_duals
-            .iter()
-            .filter(|&&(_, _, v)| v > 1e-12)
-            .map(|&(f, qi, v)| (f, qi, v * problem.flows[f].demand_gbps))
-            .collect();
-        cuts.push(Cut { constant, weights });
-        if ub - lb <= eps {
-            break;
-        }
-        // Step 2: master problem.
-        let (new_delta, master_obj) = solve_master(problem, beta, &cuts, &all_delta);
-        lp_solves += 1;
-        lb = lb.max(master_obj);
-        if ub - lb <= eps {
-            break;
-        }
-        delta = new_delta;
     }
-    let (_, phi, delta) = best.expect("at least one subproblem solved");
-    let allocation = polish_allocation(problem, &delta, phi);
-    TeSolution { allocation, max_loss: phi, delta, lp_solves: lp_solves + 1, benders_iters: iters }
 }
 
 /// Solves the Benders master: min Φ s.t. the availability knapsack per
-/// flow and all optimality cuts, δ binary. Returns the new selection
-/// and the master objective (a lower bound).
+/// flow and all optimality cuts, δ binary. Returns the new selection,
+/// the master objective (a lower bound), and the B&B node count.
 fn solve_master(
     problem: &TeProblem<'_>,
     beta: f64,
     cuts: &[Cut],
     all_delta: &[Vec<usize>],
-) -> (Vec<Vec<usize>>, f64) {
+    simplex: SimplexOptions,
+) -> (Vec<Vec<usize>>, f64, usize) {
     let scen = &problem.scenarios.scenarios;
     let mut lp = LinearProgram::new();
     let phi = lp.add_var(0.0, 1.0, 1.0);
@@ -596,7 +1085,7 @@ fn solve_master(
         lp.add_constraint(terms, Sense::Ge, cut.constant);
     }
     let binaries: Vec<VarId> = dvars.iter().flatten().copied().collect();
-    let opts = MipOptions { max_nodes: 4000, ..Default::default() };
+    let opts = MipOptions { max_nodes: 4000, simplex, ..Default::default() };
     let r = solve_mip(&lp, &binaries, opts);
     let x = if r.status == MipStatus::Optimal || r.has_incumbent() {
         r.x.clone()
@@ -620,93 +1109,89 @@ fn solve_master(
         })
         .collect();
     let obj = if r.has_incumbent() { r.objective } else { 0.0 };
-    (delta, obj)
+    (delta, obj, r.nodes)
 }
 
-/// Full MIP via branch-and-bound: exact reference for small instances.
-fn solve_bnb(problem: &TeProblem<'_>, beta: f64) -> TeSolution {
-    match solve_bnb_with(problem, beta, MipOptions::default()) {
-        Ok(sol) => sol,
-        Err(e) => panic!("exact solve failed: {e:?}"),
-    }
-}
-
-/// Branch-and-bound under explicit [`MipOptions`], surfacing budget
-/// exhaustion and infeasibility instead of panicking.
-fn solve_bnb_with(
-    problem: &TeProblem<'_>,
-    beta: f64,
-    opts: MipOptions,
-) -> Result<TeSolution, TeSolveError> {
-    let scen = &problem.scenarios.scenarios;
-    let n_tunnels = problem.tunnels.len();
-    let mut lp = LinearProgram::new();
-    let a_vars: Vec<VarId> =
-        (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
-    let phi = lp.add_var(0.0, 1.0, 1.0);
-    // Capacity.
-    let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
-    for t in problem.tunnels.tunnels() {
-        for g in problem.groups.groups_of_path(&t.path.links) {
-            group_terms[g].push((a_vars[t.id.index()], 1.0));
+impl SolveCtx<'_, '_, '_> {
+    /// Full MIP (2)–(8) via branch-and-bound: exact reference for small
+    /// instances, surfacing budget exhaustion and infeasibility instead
+    /// of panicking.
+    fn bnb(&mut self, beta: f64, opts: MipOptions) -> Result<TeSolution, TeSolveError> {
+        let t0 = Instant::now();
+        let problem = self.problem;
+        let scen = &problem.scenarios.scenarios;
+        let n_tunnels = problem.tunnels.len();
+        let mut lp = LinearProgram::new();
+        let a_vars: Vec<VarId> =
+            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+        let phi = lp.add_var(0.0, 1.0, 1.0);
+        // Capacity.
+        let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
+        for t in problem.tunnels.tunnels() {
+            for g in problem.groups.groups_of_path(&t.path.links) {
+                group_terms[g].push((a_vars[t.id.index()], 1.0));
+            }
         }
-    }
-    for (g, terms) in group_terms.into_iter().enumerate() {
-        lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g));
-    }
-    // δ vars + coverage + knapsack.
-    let mut dvars: Vec<Vec<(usize, VarId)>> = Vec::new();
-    for f in 0..problem.flows.len() {
-        let d = problem.flows[f].demand_gbps;
-        let mut rows = vec![0usize];
-        rows.extend_from_slice(problem.affecting(f));
-        let vars: Vec<(usize, VarId)> = rows
-            .iter()
-            .map(|&qi| (qi, lp.add_var(0.0, 1.0, 0.0)))
-            .collect();
-        for &(qi, dv) in &vars {
-            // Σ surv a + d Φ − d δ ≥ 0.
-            let mut terms: Vec<(VarId, f64)> = problem
-                .surviving(f, qi)
+        for (g, terms) in group_terms.into_iter().enumerate() {
+            lp.add_constraint(terms, Sense::Le, problem.groups.capacity(g));
+        }
+        // δ vars + coverage + knapsack.
+        let mut dvars: Vec<Vec<(usize, VarId)>> = Vec::new();
+        for f in 0..problem.flows.len() {
+            let d = problem.flows[f].demand_gbps;
+            let mut rows = vec![0usize];
+            rows.extend_from_slice(problem.affecting(f));
+            let vars: Vec<(usize, VarId)> = rows
                 .iter()
-                .map(|&t| (a_vars[t.index()], 1.0))
+                .map(|&qi| (qi, lp.add_var(0.0, 1.0, 0.0)))
                 .collect();
-            terms.push((phi, d));
-            terms.push((dv, -d));
-            lp.add_constraint(terms, Sense::Ge, 0.0);
+            for &(qi, dv) in &vars {
+                // Σ surv a + d Φ − d δ ≥ 0.
+                let mut terms: Vec<(VarId, f64)> = problem
+                    .surviving(f, qi)
+                    .iter()
+                    .map(|&t| (a_vars[t.index()], 1.0))
+                    .collect();
+                terms.push((phi, d));
+                terms.push((dv, -d));
+                lp.add_constraint(terms, Sense::Ge, 0.0);
+            }
+            let attainable: f64 = vars.iter().map(|&(qi, _)| scen[qi].prob).sum();
+            let rhs = (beta - problem.unaffecting_mass(f)).min(attainable * (1.0 - 1e-12));
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().map(|&(qi, v)| (v, scen[qi].prob)).collect();
+            lp.add_constraint(terms, Sense::Ge, rhs);
+            dvars.push(vars);
         }
-        let attainable: f64 = vars.iter().map(|&(qi, _)| scen[qi].prob).sum();
-        let rhs = (beta - problem.unaffecting_mass(f)).min(attainable * (1.0 - 1e-12));
-        let terms: Vec<(VarId, f64)> =
-            vars.iter().map(|&(qi, v)| (v, scen[qi].prob)).collect();
-        lp.add_constraint(terms, Sense::Ge, rhs);
-        dvars.push(vars);
-    }
-    let binaries: Vec<VarId> = dvars.iter().flatten().map(|&(_, v)| v).collect();
-    let r = solve_mip(&lp, &binaries, opts);
-    match r.status {
-        MipStatus::Optimal => {}
-        MipStatus::Infeasible => return Err(TeSolveError::Infeasible),
-        // Φ ∈ [0, 1] bounds the objective, so Unbounded only arises
-        // from a malformed program — report it as infeasibility rather
-        // than aborting the controller.
-        MipStatus::Unbounded => return Err(TeSolveError::Infeasible),
-        MipStatus::NodeLimit => {
-            return Err(TeSolveError::BudgetExceeded { nodes: r.nodes })
+        let binaries: Vec<VarId> = dvars.iter().flatten().map(|&(_, v)| v).collect();
+        let r = solve_mip(&lp, &binaries, opts);
+        self.stats.master_ms += ms_since(t0);
+        self.stats.mip_nodes += r.nodes;
+        self.stats.lp_solves += r.nodes;
+        match r.status {
+            MipStatus::Optimal => {}
+            MipStatus::Infeasible => return Err(TeSolveError::Infeasible),
+            // Φ ∈ [0, 1] bounds the objective, so Unbounded only arises
+            // from a malformed program — report it as infeasibility
+            // rather than aborting the controller.
+            MipStatus::Unbounded => return Err(TeSolveError::Infeasible),
+            MipStatus::NodeLimit => {
+                return Err(TeSolveError::BudgetExceeded { nodes: r.nodes })
+            }
         }
+        let delta: Vec<Vec<usize>> = dvars
+            .iter()
+            .map(|vars| {
+                vars.iter()
+                    .filter(|&&(_, v)| r.x[v.index()] > 0.5)
+                    .map(|&(qi, _)| qi)
+                    .collect()
+            })
+            .collect();
+        let max_loss = r.x[phi.index()].max(0.0);
+        let allocation = self.polish(&delta, max_loss);
+        Ok(TeSolution { allocation, max_loss, delta, lp_solves: r.nodes + 1, benders_iters: 0 })
     }
-    let delta: Vec<Vec<usize>> = dvars
-        .iter()
-        .map(|vars| {
-            vars.iter()
-                .filter(|&&(_, v)| r.x[v.index()] > 0.5)
-                .map(|&(qi, _)| qi)
-                .collect()
-        })
-        .collect();
-    let max_loss = r.x[phi.index()].max(0.0);
-    let allocation = polish_allocation(problem, &delta, max_loss);
-    Ok(TeSolution { allocation, max_loss, delta, lp_solves: r.nodes + 1, benders_iters: 0 })
 }
 
 #[cfg(test)]
@@ -726,6 +1211,10 @@ mod tests {
         (net, flows, tunnels, scenarios)
     }
 
+    fn run(p: &TeProblem<'_>, beta: f64, method: SolveMethod) -> TeSolution {
+        TeSolver::new(p).beta(beta).method(method).solve().expect("solvable within budget")
+    }
+
     #[test]
     fn triangle_zero_loss_at_99() {
         // Per-flow β = 99 % is satisfiable at zero loss — but only if
@@ -739,14 +1228,14 @@ mod tests {
         let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
         for method in [SolveMethod::benders(), SolveMethod::BranchAndBound] {
-            let sol = solve_te(&p, 0.99, method);
+            let sol = run(&p, 0.99, method);
             assert!(sol.max_loss < 1e-6, "{method:?}: Φ = {}", sol.max_loss);
             // No-failure delivery is full demand for both flows.
             assert!((sol.delivered(&p, 0, 0) - 10.0).abs() < 1e-6);
             assert!((sol.delivered(&p, 1, 0) - 10.0).abs() < 1e-6);
         }
         // The heuristic stays a valid upper bound.
-        let h = solve_te(&p, 0.99, SolveMethod::Heuristic);
+        let h = run(&p, 0.99, SolveMethod::Heuristic);
         assert!(h.max_loss >= -1e-9);
     }
 
@@ -758,11 +1247,11 @@ mod tests {
         // s1→s3's protection, so Φ > 0 at these demands.
         let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-        let sol = solve_te(&p, 0.999999, SolveMethod::BranchAndBound);
+        let sol = run(&p, 0.999999, SolveMethod::BranchAndBound);
         assert!(sol.max_loss > 0.2, "Φ = {}", sol.max_loss);
         // All three solvers agree on the optimum.
-        let h = solve_te(&p, 0.999999, SolveMethod::Heuristic);
-        let b = solve_te(&p, 0.999999, SolveMethod::benders());
+        let h = run(&p, 0.999999, SolveMethod::Heuristic);
+        let b = run(&p, 0.999999, SolveMethod::benders());
         assert!((h.max_loss - sol.max_loss).abs() < 1e-4, "heuristic {}", h.max_loss);
         assert!((b.max_loss - sol.max_loss).abs() < 1e-4, "benders {}", b.max_loss);
     }
@@ -775,8 +1264,8 @@ mod tests {
         let (net, flows, tunnels, scenarios) = triangle_problem(&[0.02, 0.001, 0.02]);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
         for beta in [0.97, 0.99, 0.995] {
-            let exact = solve_te(&p, beta, SolveMethod::BranchAndBound);
-            let bend = solve_te(&p, beta, SolveMethod::benders());
+            let exact = run(&p, beta, SolveMethod::BranchAndBound);
+            let bend = run(&p, beta, SolveMethod::benders());
             assert!(
                 (exact.max_loss - bend.max_loss).abs() < 1e-3,
                 "beta {beta}: exact {} vs benders {}",
@@ -785,7 +1274,7 @@ mod tests {
             );
             // Heuristic is an upper bound (feasible but maybe
             // suboptimal).
-            let heur = solve_te(&p, beta, SolveMethod::Heuristic);
+            let heur = run(&p, beta, SolveMethod::Heuristic);
             assert!(heur.max_loss >= exact.max_loss - 1e-6);
         }
     }
@@ -794,7 +1283,7 @@ mod tests {
     fn allocation_respects_capacity() {
         let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-        let sol = solve_te(&p, 0.999999, SolveMethod::Heuristic);
+        let sol = run(&p, 0.999999, SolveMethod::Heuristic);
         // Recompute per-group load.
         let mut load = vec![0.0; p.groups.len()];
         for t in tunnels.tunnels() {
@@ -817,7 +1306,7 @@ mod tests {
         let (net, flows, tunnels, _) = triangle_problem(&TRIANGLE_PROBS);
         let scenarios = ScenarioSet::enumerate(&[1.0, 0.0, 0.0], 1, 0.0);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-        let sol = solve_te(&p, 0.99, SolveMethod::BranchAndBound);
+        let sol = run(&p, 0.99, SolveMethod::BranchAndBound);
         assert!((sol.max_loss - 0.5).abs() < 1e-6, "Φ = {}", sol.max_loss);
         // Every scenario cuts fiber 0; total delivery is 10 units.
         for (qi, _) in scenarios.scenarios.iter().enumerate() {
@@ -830,13 +1319,13 @@ mod tests {
     fn loss_and_delivered_consistency() {
         let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-        let sol = solve_te(&p, 0.99, SolveMethod::Heuristic);
-        for f in 0..flows.len() {
+        let sol = run(&p, 0.99, SolveMethod::Heuristic);
+        for (f, flow) in flows.iter().enumerate() {
             for q in 0..scenarios.len() {
                 let l = sol.loss(&p, f, q);
                 let d = sol.delivered(&p, f, q);
                 assert!((0.0..=1.0).contains(&l));
-                assert!((d - (1.0 - l) * flows[f].demand_gbps).abs() < 1e-9);
+                assert!((d - (1.0 - l) * flow.demand_gbps).abs() < 1e-9);
             }
         }
     }
@@ -847,11 +1336,135 @@ mod tests {
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
         // Flow 0 (s1→s2) has tunnels s1s2 and s1s3s2: every single-cut
         // scenario kills one of them.
-        for f in 0..flows.len() {
+        for (f, flow) in flows.iter().enumerate() {
             for &qi in p.affecting(f) {
-                let all = tunnels.of_flow(flows[f].id).len();
+                let all = tunnels.of_flow(flow.id).len();
                 assert!(p.surviving(f, qi).len() < all);
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        for method in [SolveMethod::Heuristic, SolveMethod::benders()] {
+            let old = solve_te(&p, 0.99, method);
+            let new = run(&p, 0.99, method);
+            assert_eq!(old.allocation, new.allocation);
+            assert_eq!(old.max_loss.to_bits(), new.max_loss.to_bits());
+            assert_eq!(old.delta, new.delta);
+            let budgeted = try_solve_te(&p, 0.99, method, SolveBudget::default())
+                .expect("within budget");
+            assert_eq!(budgeted.allocation, new.allocation);
+        }
+    }
+
+    #[test]
+    fn parallel_solves_are_bit_identical_to_serial() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        for method in [SolveMethod::Heuristic, SolveMethod::benders(), SolveMethod::BranchAndBound]
+        {
+            let serial = TeSolver::new(&p).beta(0.99).method(method).threads(1).solve().unwrap();
+            for threads in [2, 4, 8] {
+                let par = TeSolver::new(&p)
+                    .beta(0.99)
+                    .method(method)
+                    .threads(threads)
+                    .solve()
+                    .unwrap();
+                let sb: Vec<u64> = serial.allocation.iter().map(|a| a.to_bits()).collect();
+                let pb: Vec<u64> = par.allocation.iter().map(|a| a.to_bits()).collect();
+                assert_eq!(sb, pb, "{method:?} @ {threads} threads");
+                assert_eq!(serial.max_loss.to_bits(), par.max_loss.to_bits());
+                assert_eq!(serial.delta, par.delta);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_reuse_keeps_solutions_identical() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let cold = TeSolver::new(&p).beta(0.99).threads(1).solve().unwrap();
+
+        let mut cache = BasisCache::new();
+        let (first, s1) = TeSolver::new(&p)
+            .beta(0.99)
+            .threads(1)
+            .warm_cache(&mut cache)
+            .solve_with_stats()
+            .unwrap();
+        assert_eq!(s1.warm_hits, 0, "empty cache cannot hit");
+        assert!(!cache.is_empty(), "optimal bases were saved");
+        let (second, s2) = TeSolver::new(&p)
+            .beta(0.99)
+            .threads(1)
+            .warm_cache(&mut cache)
+            .solve_with_stats()
+            .unwrap();
+        assert!(s2.warm_hits > 0, "second solve should restore a cached basis");
+        for (a, b) in [(&cold, &first), (&first, &second)] {
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.max_loss.to_bits(), b.max_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn benders_stats_count_work_units() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let (_, stats) = TeSolver::new(&p)
+            .beta(0.99)
+            .method(SolveMethod::benders())
+            .threads(1)
+            .solve_with_stats()
+            .unwrap();
+        assert!(stats.benders_iters > 0);
+        assert_eq!(stats.cuts_added, stats.benders_iters);
+        assert!(stats.lp_solves > 0);
+        assert!(stats.pivots > 0);
+        if stats.benders_iters > 1 {
+            assert!(stats.rhs_resolves > 0, "later iterations re-solve the live tableau");
+        }
+        // Equality ignores wall-clock: two runs of the same work compare
+        // equal even though their timings differ.
+        let (_, again) = TeSolver::new(&p)
+            .beta(0.99)
+            .method(SolveMethod::benders())
+            .threads(1)
+            .solve_with_stats()
+            .unwrap();
+        assert_eq!(stats, again);
+        // merge() accumulates work units.
+        let mut merged = stats.clone();
+        merged.merge(&again);
+        assert_eq!(merged.lp_solves, stats.lp_solves * 2);
+        assert_eq!(merged.threads, 1);
+    }
+
+    #[test]
+    fn problem_config_precompute_parallelism_is_invisible() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let serial = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let par = TeProblem::with_config(
+            &net,
+            &flows,
+            &tunnels,
+            &scenarios,
+            ProblemConfig { precompute_threads: 4, ..ProblemConfig::default() },
+        );
+        assert_eq!(serial.structure_key(), par.structure_key());
+        for f in 0..flows.len() {
+            assert_eq!(serial.affecting(f), par.affecting(f));
+            for q in 0..scenarios.len() {
+                assert_eq!(serial.surviving(f, q), par.surviving(f, q));
+            }
+        }
+        let a = run(&serial, 0.99, SolveMethod::Heuristic);
+        let b = run(&par, 0.99, SolveMethod::Heuristic);
+        assert_eq!(a.allocation, b.allocation);
     }
 }

@@ -18,7 +18,7 @@
 use crate::algorithm1::{update_tunnels, TunnelUpdateConfig};
 use crate::capacity::CapacityGroups;
 use crate::estimator::ProbabilityEstimator;
-use crate::optimizer::{solve_te, SolveMethod, TeProblem};
+use crate::optimizer::{SolveMethod, TeProblem, TeSolver};
 use crate::scenario::{DegradationState, ScenarioSet};
 use prete_lp::{solve, LinearProgram, Sense, SolveStatus, VarId};
 use prete_optical::FailureModel;
@@ -587,7 +587,11 @@ impl TeScheme for FlexileScheme {
         let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
         let tunnels = ctx.base_tunnels.clone();
         let problem = TeProblem::new(ctx.net, ctx.flows, &tunnels, &scenarios);
-        let sol = solve_te(&problem, self.beta, self.method);
+        let sol = TeSolver::new(&problem)
+            .beta(self.beta)
+            .method(self.method)
+            .solve()
+            .expect("unbudgeted solve");
         let admitted = ctx.flows.iter().map(|f| f.demand_gbps).collect();
         Plan { tunnels, allocation: sol.allocation, admitted }
     }
@@ -663,7 +667,11 @@ impl TeScheme for PreTeScheme {
         // Proactive step: optimize over the enlarged tunnel set.
         let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
         let problem = TeProblem::new(ctx.net, ctx.flows, &tunnels, &scenarios);
-        let sol = solve_te(&problem, self.beta, self.method);
+        let sol = TeSolver::new(&problem)
+            .beta(self.beta)
+            .method(self.method)
+            .solve()
+            .expect("unbudgeted solve");
         let admitted = ctx.flows.iter().map(|f| f.demand_gbps).collect();
         Plan { tunnels, allocation: sol.allocation, admitted }
     }

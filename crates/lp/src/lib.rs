@@ -13,7 +13,11 @@
 //! * [`mip`] — branch-and-bound over binary/integer variables on top of
 //!   the simplex relaxation, used for the Benders master problem and as
 //!   an exact (small-instance) reference solver for the full MIP
-//!   (2)–(8).
+//!   (2)–(8);
+//! * [`warm`] — a [`warm::BasisCache`] for reusing optimal bases across
+//!   solves; together with [`simplex::WarmSimplex`] it gives rhs-only
+//!   dual-simplex re-solves inside a Benders loop and basis-restored
+//!   solves across controller epochs.
 //!
 //! Problem sizes in this workspace are a few hundred to a few thousand
 //! rows/columns; the dense tableau is deliberate — simple, robust, easy
@@ -26,7 +30,9 @@
 pub mod mip;
 pub mod model;
 pub mod simplex;
+pub mod warm;
 
 pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Constraint, ConstraintId, LinearProgram, Sense, VarId};
-pub use simplex::{solve, SimplexOptions, Solution, SolveStatus};
+pub use simplex::{solve, solve_with, Basis, SimplexOptions, Solution, SolveStatus, WarmSimplex};
+pub use warm::BasisCache;

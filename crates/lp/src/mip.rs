@@ -14,7 +14,17 @@
 //! problems are near-integral).
 
 use crate::model::{LinearProgram, Sense, VarId};
-use crate::simplex::{solve_with, SimplexOptions, SolveStatus};
+use crate::simplex::{solve_with, SimplexOptions, Solution, SolveStatus};
+
+/// Nodes popped (in DFS order) and relaxed together per wave.
+///
+/// The wave size is a constant — *not* derived from the thread count —
+/// so the exploration order, and with it every incumbent and bound
+/// decision, is identical whether the wave's LP relaxations are solved
+/// serially or fanned out across threads. That makes `solve_mip`
+/// bit-identical at every thread count; threads only change how fast a
+/// wave finishes.
+const WAVE: usize = 4;
 
 /// Options for the branch-and-bound search.
 #[derive(Debug, Clone, Copy)]
@@ -93,71 +103,72 @@ pub fn solve_mip(lp: &LinearProgram, integers: &[VarId], opts: MipOptions) -> Mi
     let mut stack: Vec<Vec<(VarId, f64, f64)>> = vec![Vec::new()];
     let mut node_limit_hit = false;
 
-    while let Some(tightenings) = stack.pop() {
-        if nodes >= opts.max_nodes {
-            node_limit_hit = true;
-            break;
-        }
-        nodes += 1;
-        // Build child program.
-        let mut child = lp.clone();
-        for &(v, lo, hi) in &tightenings {
-            tighten(&mut child, v, lo, hi);
-        }
-        let sol = solve_with(&child, opts.simplex);
-        match sol.status {
-            SolveStatus::Infeasible => continue,
-            SolveStatus::Unbounded => {
-                if tightenings.is_empty() {
-                    root_unbounded = true;
-                    break;
+    'outer: while !stack.is_empty() {
+        // Pop a wave of nodes in DFS order and relax them together.
+        let take = WAVE.min(stack.len());
+        let wave: Vec<Vec<(VarId, f64, f64)>> =
+            stack.drain(stack.len() - take..).rev().collect();
+        let sols = relax_wave(lp, &wave, opts.simplex);
+        for (tightenings, sol) in wave.into_iter().zip(sols) {
+            if nodes >= opts.max_nodes {
+                node_limit_hit = true;
+                break 'outer;
+            }
+            nodes += 1;
+            match sol.status {
+                SolveStatus::Infeasible => continue,
+                SolveStatus::Unbounded => {
+                    if tightenings.is_empty() {
+                        root_unbounded = true;
+                        break 'outer;
+                    }
+                    continue;
                 }
+                SolveStatus::IterationLimit => continue,
+                SolveStatus::Optimal => {}
+            }
+            if tightenings.is_empty() {
+                lower_bound = sol.objective;
+            }
+            // Prune by bound.
+            if sol.objective >= best_obj - opts.gap_tol {
                 continue;
             }
-            SolveStatus::IterationLimit => continue,
-            SolveStatus::Optimal => {}
-        }
-        if tightenings.is_empty() {
-            lower_bound = sol.objective;
-        }
-        // Prune by bound.
-        if sol.objective >= best_obj - opts.gap_tol {
-            continue;
-        }
-        // Find most-fractional integer variable.
-        let mut branch: Option<(VarId, f64)> = None;
-        let mut best_frac = opts.int_tol;
-        for &v in integers {
-            let xv = sol.x[v.index()];
-            let frac = (xv - xv.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch = Some((v, xv));
-            }
-        }
-        match branch {
-            None => {
-                // Integral — new incumbent (round to kill the epsilon).
-                let mut x = sol.x.clone();
-                for &v in integers {
-                    x[v.index()] = x[v.index()].round();
-                }
-                if sol.objective < best_obj {
-                    best_obj = sol.objective;
-                    best_x = Some(x);
+            // Find most-fractional integer variable.
+            let mut branch: Option<(VarId, f64)> = None;
+            let mut best_frac = opts.int_tol;
+            for &v in integers {
+                let xv = sol.x[v.index()];
+                let frac = (xv - xv.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch = Some((v, xv));
                 }
             }
-            Some((v, xv)) => {
-                let floor = xv.floor();
-                // Push "up" branch first so DFS explores "down" first
-                // (stack order): down branches tend to reach integral
-                // scenario selections faster in the TE master problems.
-                let mut up = tightenings.clone();
-                up.push((v, floor + 1.0, f64::INFINITY));
-                stack.push(up);
-                let mut down = tightenings.clone();
-                down.push((v, f64::NEG_INFINITY, floor));
-                stack.push(down);
+            match branch {
+                None => {
+                    // Integral — new incumbent (round to kill the epsilon).
+                    let mut x = sol.x.clone();
+                    for &v in integers {
+                        x[v.index()] = x[v.index()].round();
+                    }
+                    if sol.objective < best_obj {
+                        best_obj = sol.objective;
+                        best_x = Some(x);
+                    }
+                }
+                Some((v, xv)) => {
+                    let floor = xv.floor();
+                    // Push "up" branch first so DFS explores "down" first
+                    // (stack order): down branches tend to reach integral
+                    // scenario selections faster in the TE master problems.
+                    let mut up = tightenings.clone();
+                    up.push((v, floor + 1.0, f64::INFINITY));
+                    stack.push(up);
+                    let mut down = tightenings.clone();
+                    down.push((v, f64::NEG_INFINITY, floor));
+                    stack.push(down);
+                }
             }
         }
     }
@@ -177,6 +188,40 @@ pub fn solve_mip(lp: &LinearProgram, integers: &[VarId], opts: MipOptions) -> Mi
         objective: best_obj,
         nodes,
         lower_bound,
+    }
+}
+
+/// Solves the LP relaxations of a wave of nodes, in wave order. With
+/// more than one node and `simplex.threads > 1` the solves run on
+/// scoped worker threads (each node's relaxation is independent); the
+/// per-node simplex then runs serially so the two parallelism levels
+/// do not multiply. Results are collected in wave order either way.
+fn relax_wave(
+    lp: &LinearProgram,
+    wave: &[Vec<(VarId, f64, f64)>],
+    simplex: SimplexOptions,
+) -> Vec<Solution> {
+    let relax = |tightenings: &[(VarId, f64, f64)], opts: SimplexOptions| {
+        let mut child = lp.clone();
+        for &(v, lo, hi) in tightenings {
+            tighten(&mut child, v, lo, hi);
+        }
+        solve_with(&child, opts)
+    };
+    if simplex.threads > 1 && wave.len() > 1 {
+        let inner = SimplexOptions { threads: 1, ..simplex };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|t| s.spawn(move || relax(t, inner)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("wave worker panicked"))
+                .collect()
+        })
+    } else {
+        wave.iter().map(|t| relax(t, simplex)).collect()
     }
 }
 

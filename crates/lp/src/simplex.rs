@@ -40,13 +40,27 @@ pub struct SimplexOptions {
     pub eps: f64,
     /// Iterations without improvement before switching to Bland's rule.
     pub stall_threshold: usize,
+    /// Worker threads for the row-elimination kernel (1 = serial).
+    ///
+    /// Rows are eliminated independently against a snapshot of the
+    /// normalized pivot row, so every thread count — including 1 —
+    /// performs the exact same per-row arithmetic and the results are
+    /// bit-identical. Parallelism only kicks in above
+    /// [`PARALLEL_PIVOT_CELLS`] tableau cells; entering/leaving
+    /// selection always runs on the coordinating thread.
+    pub threads: usize,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        Self { max_iterations: 200_000, eps: 1e-9, stall_threshold: 1_000 }
+        Self { max_iterations: 200_000, eps: 1e-9, stall_threshold: 1_000, threads: 1 }
     }
 }
+
+/// Minimum tableau cells (`rows × columns`) before a pivot fans row
+/// elimination out across threads; below this the spawn overhead
+/// dominates.
+pub const PARALLEL_PIVOT_CELLS: usize = 32_768;
 
 /// Outcome of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +110,172 @@ pub fn solve(lp: &LinearProgram) -> Solution {
 
 /// Solves with explicit options.
 pub fn solve_with(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
-    Tableau::build(lp, opts).run(lp)
+    let mut t = Tableau::build(lp, opts);
+    t.run(lp)
+}
+
+/// A saved simplex basis: the basic column of every tableau row plus a
+/// signature of the tableau *structure* (row senses, sign
+/// normalization, bound pattern) it was extracted from.
+///
+/// A basis can be restored onto a later tableau with the same structure
+/// even when matrix coefficients or right-hand sides changed — exactly
+/// the shape of successive TE epochs, where demands drift but the
+/// constraint skeleton is fixed. Restoring skips simplex phase 1
+/// entirely and usually leaves only a handful of phase-2 (or dual)
+/// pivots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<usize>,
+    signature: u64,
+}
+
+impl Basis {
+    /// Number of rows the basis covers.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The structural signature of the tableau this basis came from.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+}
+
+/// A persistent simplex instance that keeps its tableau alive between
+/// solves so follow-up solves can be warm-started.
+///
+/// Two warm paths are supported:
+///
+/// * [`WarmSimplex::resolve_rhs`] — the caller changed *only*
+///   right-hand sides (via [`LinearProgram::set_rhs`]) since the last
+///   solve. The live tableau's rhs column is recomputed through the
+///   basis inverse (read off the identity columns) and a dual-simplex
+///   loop restores feasibility: the previous optimal basis is dual
+///   feasible by construction, so this typically takes a few pivots
+///   where a cold solve would need full phase 1 + 2. This is the
+///   within-Benders warm start (the δ selection only moves the
+///   coverage right-hand sides).
+/// * [`WarmSimplex::solve_from`] — a fresh solve seeded from a saved
+///   [`Basis`] (for example from a [`crate::BasisCache`] across
+///   controller epochs). The tableau is rebuilt with the new
+///   coefficients, the basis is restored by prescribed pivots, and
+///   phase 1 is skipped when the restored point is primal or dual
+///   feasible.
+///
+/// Every warm path falls back to a cold solve on any mismatch, so the
+/// result status is never worse than [`solve_with`].
+#[derive(Debug)]
+pub struct WarmSimplex {
+    opts: SimplexOptions,
+    state: Option<WarmState>,
+}
+
+#[derive(Debug)]
+struct WarmState {
+    tab: Tableau,
+    /// User-constraint rhs values at build time (baseline for deltas).
+    build_user_rhs: Vec<f64>,
+    optimal: bool,
+}
+
+impl WarmSimplex {
+    /// Creates an instance with the given options.
+    pub fn new(opts: SimplexOptions) -> Self {
+        Self { opts, state: None }
+    }
+
+    /// Cold solve (keeps the tableau for later warm re-solves).
+    pub fn solve(&mut self, lp: &LinearProgram) -> Solution {
+        self.solve_from(lp, None).0
+    }
+
+    /// Solves from scratch, optionally restoring a saved basis first.
+    /// Returns the solution and whether the warm basis was actually
+    /// used (signature match + successful restore).
+    pub fn solve_from(&mut self, lp: &LinearProgram, warm: Option<&Basis>) -> (Solution, bool) {
+        let mut tab = Tableau::build(lp, self.opts);
+        let mut warm_used = false;
+        let sol = match warm {
+            Some(b) if b.signature == tab.signature && tab.restore_basis(b) => {
+                match tab.solve_restored(lp) {
+                    Some(sol) => {
+                        warm_used = true;
+                        sol
+                    }
+                    None => {
+                        tab = Tableau::build(lp, self.opts);
+                        tab.run(lp)
+                    }
+                }
+            }
+            _ => tab.run(lp),
+        };
+        let optimal = sol.is_optimal();
+        self.state = Some(WarmState {
+            tab,
+            build_user_rhs: lp.constraints().iter().map(|c| c.rhs).collect(),
+            optimal,
+        });
+        (sol, warm_used)
+    }
+
+    /// Re-solves after the caller changed *only* constraint right-hand
+    /// sides since the previous solve on this instance. Falls back to a
+    /// cold solve when no optimal tableau is live or the program shape
+    /// changed. Returns the solution and whether the live-tableau warm
+    /// path was taken.
+    ///
+    /// Correctness contract: between the previous solve and this call,
+    /// the program must only have been mutated through
+    /// [`LinearProgram::set_rhs`]. Coefficient or shape changes require
+    /// [`WarmSimplex::solve_from`].
+    pub fn resolve_rhs(&mut self, lp: &LinearProgram) -> (Solution, bool) {
+        let usable = self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.optimal && s.build_user_rhs.len() == lp.num_constraints());
+        if !usable {
+            return (self.solve(lp), false);
+        }
+        let WarmState { tab, build_user_rhs, optimal } = self.state.as_mut().expect("checked");
+        // New transformed rhs per tableau row: the build-time value plus
+        // the (sign-adjusted) user delta; upper-bound rows are untouched.
+        let mut new_b = tab.rhs0.clone();
+        for (u, &(row, sign)) in tab.user_rows.iter().enumerate() {
+            new_b[row] += sign * (lp.constraints()[u].rhs - build_user_rhs[u]);
+        }
+        tab.apply_rhs(&new_b);
+        let st = tab.dual_simplex();
+        let st = if st == SolveStatus::Optimal { tab.iterate(false) } else { st };
+        if st == SolveStatus::Optimal {
+            *optimal = true;
+            *build_user_rhs = lp.constraints().iter().map(|c| c.rhs).collect();
+            tab.rhs0 = new_b;
+            let sol = tab.extract(lp);
+            (sol, true)
+        } else {
+            // Dual-unbounded (new rhs infeasible) or iteration trouble:
+            // a cold solve gives the authoritative status.
+            (self.solve(lp), false)
+        }
+    }
+
+    /// The optimal basis of the last solve, if it reached optimality.
+    pub fn basis(&self) -> Option<Basis> {
+        let s = self.state.as_ref()?;
+        s.optimal.then(|| s.tab.extract_basis())
+    }
+
+    /// Cumulative pivots performed by this instance's live tableau.
+    pub fn pivots(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.tab.iterations)
+    }
 }
 
 /// Column classification inside the tableau.
@@ -107,6 +286,7 @@ enum ColKind {
     Artificial,
 }
 
+#[derive(Debug)]
 struct Tableau {
     opts: SimplexOptions,
     /// Row-major (m+1) x (ncols+1); last row = objective (reduced
@@ -128,6 +308,13 @@ struct Tableau {
     obj_const: f64,
     n_structural: usize,
     iterations: usize,
+    /// Transformed rhs per row at build time (baseline for rhs-only
+    /// warm re-solves).
+    rhs0: Vec<f64>,
+    /// Hash of the structural skeleton (variable bound pattern, row
+    /// senses and sign normalization) — a saved [`Basis`] may only be
+    /// restored onto a tableau with the same signature.
+    signature: u64,
 }
 
 impl Tableau {
@@ -249,6 +436,22 @@ impl Tableau {
         }
 
         let user_rows = (0..n_user).map(|i| (i, signs[i])).collect();
+        // Structural signature: anything that determines the column
+        // layout (and therefore what a saved basis index means).
+        let signature = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            n.hash(&mut h);
+            for v in lp.vars() {
+                v.upper.is_finite().hash(&mut h);
+            }
+            for (i, r) in rows.iter().enumerate() {
+                (r.sense as u8).hash(&mut h);
+                (signs[i] < 0.0).hash(&mut h);
+            }
+            h.finish()
+        };
+        let rhs0 = rows.iter().map(|r| r.rhs).collect();
         Self {
             opts,
             t,
@@ -262,6 +465,8 @@ impl Tableau {
             obj_const,
             n_structural: n,
             iterations: 0,
+            rhs0,
+            signature,
         }
     }
 
@@ -309,23 +514,218 @@ impl Tableau {
         for j in 0..=self.ncols {
             self.t[rr + j] *= inv;
         }
-        for r in 0..=self.m {
-            if r == row {
-                continue;
+        if self.opts.threads > 1 && (self.m + 1) * stride >= PARALLEL_PIVOT_CELLS {
+            self.eliminate_parallel(row, col);
+        } else {
+            for r in 0..=self.m {
+                if r == row {
+                    continue;
+                }
+                let f = self.at(r, col);
+                if f == 0.0 {
+                    continue;
+                }
+                let br = r * stride;
+                for j in 0..=self.ncols {
+                    self.t[br + j] -= f * self.t[rr + j];
+                }
+                // Kill residual round-off in the pivot column.
+                self.t[br + col] = 0.0;
             }
-            let f = self.at(r, col);
-            if f == 0.0 {
-                continue;
-            }
-            let br = r * stride;
-            for j in 0..=self.ncols {
-                self.t[br + j] -= f * self.t[rr + j];
-            }
-            // Kill residual round-off in the pivot column.
-            self.t[br + col] = 0.0;
         }
         self.basis[row] = col;
         self.iterations += 1;
+    }
+
+    /// Row elimination fanned out over scoped threads. Each row is
+    /// eliminated against a snapshot of the already-normalized pivot
+    /// row with the exact inner loop of the serial path, and rows are
+    /// independent, so the result is bit-identical to the serial
+    /// elimination at every thread count.
+    fn eliminate_parallel(&mut self, row: usize, col: usize) {
+        let stride = self.stride();
+        let ncols = self.ncols;
+        let prow: Vec<f64> = self.t[row * stride..row * stride + stride].to_vec();
+        let nrows = self.m + 1;
+        let nthreads = self.opts.threads.min(nrows).max(1);
+        let chunk_rows = nrows.div_ceil(nthreads);
+        std::thread::scope(|s| {
+            for (ci, chunk) in self.t.chunks_mut(chunk_rows * stride).enumerate() {
+                let prow = &prow;
+                s.spawn(move || {
+                    for (k, r) in chunk.chunks_mut(stride).enumerate() {
+                        if ci * chunk_rows + k == row {
+                            continue;
+                        }
+                        let f = r[col];
+                        if f == 0.0 {
+                            continue;
+                        }
+                        for j in 0..=ncols {
+                            r[j] -= f * prow[j];
+                        }
+                        r[col] = 0.0;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Overwrites the rhs column (including the objective cell) with the
+    /// basis-inverse image of the new transformed rhs `new_b`. The
+    /// basis inverse is read off the per-row identity columns, which is
+    /// why this works on the *live* tableau without refactorization.
+    fn apply_rhs(&mut self, new_b: &[f64]) {
+        debug_assert_eq!(new_b.len(), self.m);
+        let stride = self.stride();
+        for r in 0..=self.m {
+            let rr = r * stride;
+            let mut v = 0.0;
+            for (k, &bk) in new_b.iter().enumerate() {
+                if bk != 0.0 {
+                    v += self.t[rr + self.dual_col[k]] * bk;
+                }
+            }
+            self.t[rr + self.ncols] = v;
+        }
+    }
+
+    /// Dual simplex: starting from a dual-feasible (reduced costs ≥ 0)
+    /// but possibly primal-infeasible tableau, pivots until the rhs
+    /// column is non-negative. Returns `Infeasible` when a negative row
+    /// has no eligible entering column (the new rhs admits no feasible
+    /// point) — callers treat that as "fall back to a cold solve".
+    fn dual_simplex(&mut self) -> SolveStatus {
+        let eps = self.opts.eps;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return SolveStatus::IterationLimit;
+            }
+            // Leaving row: most negative rhs (ties → lowest row).
+            let mut leave: Option<usize> = None;
+            let mut most_neg = -1e-9;
+            for r in 0..self.m {
+                let b = self.at(r, self.ncols);
+                if b < most_neg {
+                    most_neg = b;
+                    leave = Some(r);
+                }
+            }
+            let Some(row) = leave else {
+                return SolveStatus::Optimal;
+            };
+            // Entering column: dual ratio test over negative entries.
+            let or = self.obj_row() * self.stride();
+            let rr = row * self.stride();
+            let mut enter: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.ncols {
+                if self.kind[j] == ColKind::Artificial {
+                    continue;
+                }
+                let a = self.t[rr + j];
+                if a < -eps {
+                    let ratio = self.t[or + j].max(0.0) / -a;
+                    if ratio < best_ratio - eps {
+                        best_ratio = ratio;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(col) = enter else {
+                return SolveStatus::Infeasible;
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// The current basis paired with this tableau's structural
+    /// signature.
+    fn extract_basis(&self) -> Basis {
+        Basis { cols: self.basis.clone(), signature: self.signature }
+    }
+
+    /// Re-pivots a freshly built tableau onto a saved basis. Saved
+    /// artificial columns are skipped (they only appear in degenerate
+    /// rows and the initial slack is an equally good basic choice).
+    /// Returns `false` when the basis indexes columns this tableau does
+    /// not have.
+    fn restore_basis(&mut self, saved: &Basis) -> bool {
+        if saved.cols.len() != self.m || saved.cols.iter().any(|&c| c >= self.ncols) {
+            return false;
+        }
+        let mut in_basis = vec![false; self.ncols];
+        for &b in &self.basis {
+            in_basis[b] = true;
+        }
+        let mut taken = vec![false; self.m];
+        let wanted: Vec<usize> = saved
+            .cols
+            .iter()
+            .copied()
+            .filter(|&j| self.kind[j] != ColKind::Artificial)
+            .collect();
+        for (r, &b) in self.basis.iter().enumerate() {
+            if wanted.contains(&b) {
+                taken[r] = true;
+            }
+        }
+        for &j in &wanted {
+            if in_basis[j] {
+                continue;
+            }
+            // Best pivot row among rows still holding their initial
+            // basic variable.
+            let mut best: Option<(usize, f64)> = None;
+            for (r, &is_taken) in taken.iter().enumerate() {
+                if is_taken {
+                    continue;
+                }
+                let a = self.at(r, j).abs();
+                if a > 1e-7 && best.is_none_or(|(_, ba)| a > ba) {
+                    best = Some((r, a));
+                }
+            }
+            let Some((r, _)) = best else {
+                // Numerically unrestorable column: leave the initial
+                // basic variable in place and carry on.
+                continue;
+            };
+            let old = self.basis[r];
+            self.pivot(r, j);
+            in_basis[old] = false;
+            in_basis[j] = true;
+            taken[r] = true;
+        }
+        true
+    }
+
+    /// Finishes a solve after [`Tableau::restore_basis`]: prices the
+    /// phase-2 objective and cleans up with primal or dual pivots,
+    /// skipping phase 1 entirely. `None` means the restored point was
+    /// unusable and the caller should fall back to a cold solve.
+    fn solve_restored(&mut self, lp: &LinearProgram) -> Option<Solution> {
+        let mut costs = vec![0.0f64; self.ncols];
+        for (j, v) in lp.vars().iter().enumerate() {
+            costs[j] = v.objective;
+        }
+        self.price_objective(&costs);
+        let primal_ok = (0..self.m).all(|r| self.at(r, self.ncols) >= -1e-7);
+        let st = if primal_ok {
+            self.iterate(false)
+        } else {
+            let or = self.obj_row() * self.stride();
+            let dual_ok = (0..self.ncols)
+                .all(|j| self.kind[j] == ColKind::Artificial || self.t[or + j] >= -1e-7);
+            if !dual_ok {
+                return None;
+            }
+            match self.dual_simplex() {
+                SolveStatus::Optimal => self.iterate(false),
+                other => other,
+            }
+        };
+        (st == SolveStatus::Optimal).then(|| self.extract(lp))
     }
 
     /// Runs the simplex loop on the current objective row. `allow`
@@ -391,7 +791,7 @@ impl Tableau {
         }
     }
 
-    fn run(mut self, lp: &LinearProgram) -> Solution {
+    fn run(&mut self, lp: &LinearProgram) -> Solution {
         let _eps = self.opts.eps;
         // Phase 1: minimize artificial sum.
         let has_art = self.kind.contains(&ColKind::Artificial);
@@ -646,6 +1046,154 @@ mod tests {
         let s = solve(&lp);
         assert!(s.is_optimal());
         assert_close(s.value(x), 3.0, 1e-9);
+    }
+
+    /// Deterministic pseudo-random LP generator (no external deps): a
+    /// feasible covering problem with dense-ish rows.
+    fn random_lp(n: usize, m: usize, seed: u64) -> LinearProgram {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut lp = LinearProgram::new();
+        let xs: Vec<_> = (0..n).map(|_| lp.add_var(0.0, f64::INFINITY, 0.5 + next())).collect();
+        for i in 0..m {
+            let terms: Vec<_> = xs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (i + j) % 3 != 0)
+                .map(|(_, &v)| (v, 0.1 + next()))
+                .collect();
+            lp.add_constraint(terms, Sense::Ge, 1.0 + 3.0 * next());
+        }
+        lp
+    }
+
+    #[test]
+    fn parallel_pivots_are_bit_identical() {
+        // Large enough to clear PARALLEL_PIVOT_CELLS so the threaded
+        // elimination path actually runs.
+        let lp = random_lp(120, 120, 7);
+        let serial = solve_with(&lp, SimplexOptions::default());
+        assert!(serial.is_optimal());
+        for threads in [2, 4, 8] {
+            let par = solve_with(&lp, SimplexOptions { threads, ..Default::default() });
+            assert_eq!(par.status, serial.status);
+            assert_eq!(par.iterations, serial.iterations, "threads {threads}");
+            assert!(
+                par.x.iter().zip(&serial.x).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads {threads}: x differs"
+            );
+            assert_eq!(par.objective.to_bits(), serial.objective.to_bits());
+            assert!(par.duals.iter().zip(&serial.duals).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn rhs_resolve_matches_cold_solve() {
+        // min 2x + 3y s.t. x + y >= b1, x - y <= b2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 3.0);
+        let c1 = lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        let c2 = lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        let mut ws = WarmSimplex::new(SimplexOptions::default());
+        let first = ws.solve(&lp);
+        assert!(first.is_optimal());
+        // Sweep the rhs both up and down, including a sign flip.
+        for (b1, b2) in [(6.0, 1.0), (2.0, 0.5), (10.0, -2.0), (4.0, 1.0)] {
+            lp.set_rhs(c1, b1);
+            lp.set_rhs(c2, b2);
+            let (warm, used) = ws.resolve_rhs(&lp);
+            let cold = solve(&lp);
+            assert!(warm.is_optimal(), "b1={b1} b2={b2}");
+            assert!(used, "warm path must apply for rhs-only changes");
+            assert_close(warm.objective, cold.objective, 1e-8);
+            assert_close(warm.x[0], cold.x[0], 1e-8);
+            assert_close(warm.x[1], cold.x[1], 1e-8);
+            lp.check_feasible(&warm.x, 1e-7).unwrap();
+        }
+    }
+
+    #[test]
+    fn rhs_resolve_on_random_lps_matches_cold() {
+        for seed in 0..5u64 {
+            let mut lp = random_lp(24, 18, seed);
+            let mut ws = WarmSimplex::new(SimplexOptions::default());
+            assert!(ws.solve(&lp).is_optimal());
+            // Perturb every rhs by a deterministic ±15 %.
+            let rhs: Vec<f64> = lp.constraints().iter().map(|c| c.rhs).collect();
+            for (i, r) in rhs.iter().enumerate() {
+                let factor = 0.85 + 0.3 * ((seed as usize + i) % 7) as f64 / 6.0;
+                lp.set_rhs(crate::model::ConstraintId(i), r * factor);
+            }
+            let (warm, _) = ws.resolve_rhs(&lp);
+            let cold = solve(&lp);
+            assert_eq!(warm.status, cold.status, "seed {seed}");
+            assert_close(warm.objective, cold.objective, 1e-6);
+            lp.check_feasible(&warm.x, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn basis_restore_matches_cold_after_coefficient_change() {
+        for seed in 0..5u64 {
+            let lp = random_lp(24, 18, seed);
+            let mut ws = WarmSimplex::new(SimplexOptions::default());
+            assert!(ws.solve(&lp).is_optimal());
+            let basis = ws.basis().expect("optimal basis");
+            // Rebuild the same skeleton with perturbed coefficients and
+            // rhs — the cross-epoch shape (structure fixed, numbers
+            // drift).
+            let mut lp2 = random_lp(24, 18, seed);
+            let rhs: Vec<f64> = lp2.constraints().iter().map(|c| c.rhs).collect();
+            for (i, r) in rhs.iter().enumerate() {
+                lp2.set_rhs(crate::model::ConstraintId(i), r * 1.05);
+            }
+            let mut ws2 = WarmSimplex::new(SimplexOptions::default());
+            let (warm, _) = ws2.solve_from(&lp2, Some(&basis));
+            let cold = solve(&lp2);
+            assert_eq!(warm.status, cold.status, "seed {seed}");
+            assert_close(warm.objective, cold.objective, 1e-6);
+            lp2.check_feasible(&warm.x, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn mismatched_basis_falls_back_cold() {
+        let lp_a = random_lp(10, 8, 1);
+        let mut ws = WarmSimplex::new(SimplexOptions::default());
+        assert!(ws.solve(&lp_a).is_optimal());
+        let basis = ws.basis().unwrap();
+        // Different structure: signature mismatch → cold path, still
+        // optimal.
+        let lp_b = random_lp(12, 9, 2);
+        let mut ws2 = WarmSimplex::new(SimplexOptions::default());
+        let (sol, used) = ws2.solve_from(&lp_b, Some(&basis));
+        assert!(sol.is_optimal());
+        assert!(!used);
+    }
+
+    #[test]
+    fn rhs_resolve_detects_new_infeasibility() {
+        // x <= 5 and x >= b: warm-start from b = 3, then push b past 5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Le, 5.0);
+        let c = lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 3.0);
+        let mut ws = WarmSimplex::new(SimplexOptions::default());
+        assert!(ws.solve(&lp).is_optimal());
+        lp.set_rhs(c, 8.0);
+        let (sol, _) = ws.resolve_rhs(&lp);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+        // And recovers when the rhs comes back.
+        lp.set_rhs(c, 2.0);
+        let (sol, _) = ws.resolve_rhs(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.x[0], 2.0, 1e-8);
     }
 
     #[test]

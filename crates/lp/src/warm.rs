@@ -1,0 +1,112 @@
+//! Cross-solve basis reuse.
+//!
+//! A [`BasisCache`] maps caller-chosen `u64` keys (scenario-set ids,
+//! problem-structure hashes) to saved optimal [`Basis`] values so
+//! successive controller epochs can warm-start their TE solves. The
+//! cache is purely an accelerator: a stale or mismatched basis is
+//! rejected by its structural signature at restore time and the solve
+//! falls back to a cold start, so cached state can never change a
+//! result — only how fast it is reached.
+
+use crate::simplex::Basis;
+use std::collections::HashMap;
+
+/// An in-memory store of optimal bases keyed by scenario/problem id.
+#[derive(Debug, Default)]
+pub struct BasisCache {
+    map: HashMap<u64, Basis>,
+    hits: usize,
+    misses: usize,
+}
+
+impl BasisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the basis saved under `key`, counting a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<&Basis> {
+        match self.map.get(&key) {
+            Some(b) => {
+                self.hits += 1;
+                Some(b)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Saves (or replaces) the basis under `key`.
+    pub fn put(&mut self, key: u64, basis: Basis) {
+        self.map.insert(key, basis);
+    }
+
+    /// Number of stored bases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found a basis.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all stored bases and resets the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Sense};
+    use crate::simplex::{SimplexOptions, WarmSimplex};
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0);
+        let mut ws = WarmSimplex::new(SimplexOptions::default());
+        assert!(ws.solve(&lp).is_optimal());
+        let basis = ws.basis().expect("optimal basis");
+
+        let mut cache = BasisCache::new();
+        assert!(cache.get(7).is_none());
+        cache.put(7, basis);
+        assert!(cache.get(7).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+}

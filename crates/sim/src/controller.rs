@@ -60,6 +60,9 @@ pub struct ControllerReport {
     pub pipeline: Option<PipelineTiming>,
     /// Whether preparation (tunnels + policy) completed before the cut.
     pub prepared_before_cut: Option<bool>,
+    /// Solver observability for the TE recompute (absent when the
+    /// trace triggered no recompute).
+    pub solver: Option<SolverStats>,
 }
 
 /// The PreTE controller: holds the scheme, predictor and latency model
@@ -79,6 +82,10 @@ pub struct Controller<'a> {
     pub scheme: &'a dyn TeScheme,
     /// Stage latencies.
     pub latency: LatencyModel,
+    /// Warm-start basis cache shared across replays (epochs): each TE
+    /// recompute saves its optimal bases and the next one on the same
+    /// problem structure restores them, skipping simplex phase 1.
+    pub cache: std::cell::RefCell<BasisCache>,
 }
 
 impl<'a> Controller<'a> {
@@ -93,6 +100,7 @@ impl<'a> Controller<'a> {
         let detection = detect(trace);
         let mut pipeline = None;
         let mut prepared_before_cut = None;
+        let mut solver = None;
         let cut_at = detection.cut_at_idx.map(|i| i as f64 * trace.dt_s as f64);
 
         if let Some(deg) = detection.degradations.first() {
@@ -149,7 +157,15 @@ impl<'a> Controller<'a> {
             let probs = self.estimate_probs(&state, p);
             let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
             let problem = TeProblem::new(self.net, self.flows, &plan.tunnels, &scenarios);
-            let sol = solve_te(&problem, 0.99, SolveMethod::Heuristic);
+            let mut cache = self.cache.borrow_mut();
+            let (sol, stats) = TeSolver::new(&problem)
+                .beta(0.99)
+                .method(SolveMethod::Heuristic)
+                .warm_cache(&mut cache)
+                .solve_with_stats()
+                .expect("heuristic solve under the default budget is infallible");
+            drop(cache);
+            solver = Some(stats);
             events.push(ControllerEvent::PolicyRecomputed {
                 max_loss: sol.max_loss,
                 at_s: decision_at_s,
@@ -167,7 +183,7 @@ impl<'a> Controller<'a> {
             let _ = idx;
             events.push(ControllerEvent::CutObserved { fiber: trace.fiber, at_s: at });
         }
-        ControllerReport { events, pipeline, prepared_before_cut }
+        ControllerReport { events, pipeline, prepared_before_cut, solver }
     }
 
     /// Eqn 1 with the live prediction for the degraded fiber.
@@ -247,6 +263,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            cache: Default::default(),
         };
         let report = controller.replay_trace(&fig4b_trace());
         // Degradation detected, tunnels built, policy recomputed, cut seen.
@@ -309,6 +326,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            cache: Default::default(),
         };
         let report = controller.replay_trace(&fig4b_trace());
         // Pruning installs nothing new: no establishment event, and the
@@ -338,6 +356,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            cache: Default::default(),
         };
         let trace = synthesize(FiberId(0), 0, 300, &[], None, TraceConfig::default(), 4);
         let report = controller.replay_trace(&trace);

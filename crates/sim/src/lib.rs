@@ -51,3 +51,19 @@ pub use robust::{
     FaultStage, RetryPolicy, RobustController, RobustReport,
 };
 pub use uncertainty::{uncertainty_experiment, UncertaintyReport};
+
+/// Convenient re-exports for driving the simulated controllers: the
+/// controller types themselves plus the solver-facing API they are
+/// configured with (mirrors `prete_core::prelude`).
+pub mod prelude {
+    pub use crate::controller::{Controller, ControllerEvent, ControllerReport};
+    pub use crate::faults::FaultPlan;
+    pub use crate::latency::{LatencyModel, PipelineTiming};
+    pub use crate::robust::{
+        budget_from_latency, DegradedMode, RetryPolicy, RobustController, RobustReport,
+    };
+    pub use prete_core::prelude::{
+        BasisCache, ProblemConfig, SolveBudget, SolveMethod, SolverStats, TeProblem,
+        TeSolution, TeSolveError, TeSolver,
+    };
+}

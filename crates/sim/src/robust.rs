@@ -182,6 +182,10 @@ pub struct RobustReport {
     pub requested_tunnels: usize,
     /// Tunnels actually established.
     pub committed_tunnels: usize,
+    /// Aggregated solver observability across every TE solve attempt in
+    /// the replay (zeroed when no recompute ran). Equality ignores the
+    /// wall-clock fields, so report comparisons stay bit-reproducible.
+    pub solver: SolverStats,
 }
 
 impl RobustReport {
@@ -298,7 +302,13 @@ impl<'a> RobustController<'a> {
             .collect();
         let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
         let problem = TeProblem::new(inner.net, inner.flows, inner.base_tunnels, &scenarios);
-        let last_known_good = solve_te(&problem, beta, SolveMethod::Heuristic);
+        // Deliberately cold (no warm cache): the standing policy must
+        // not depend on whatever was solved before construction.
+        let last_known_good = TeSolver::new(&problem)
+            .beta(beta)
+            .method(SolveMethod::Heuristic)
+            .solve()
+            .expect("heuristic solve under the default budget is infallible");
         Self { inner, method, retry, beta, last_known_good }
     }
 
@@ -337,6 +347,7 @@ impl<'a> RobustController<'a> {
         let mut policy_max_loss = self.last_known_good.max_loss;
         let mut requested_tunnels = 0;
         let mut committed_tunnels = 0;
+        let mut solver_stats = SolverStats::default();
 
         let detection = detect(&observed);
         let cut_at = detection.cut_at_idx.map(|i| i as f64 * observed.dt_s as f64);
@@ -452,7 +463,15 @@ impl<'a> RobustController<'a> {
                         SolverFaultKind::Infeasible => TeSolveError::Infeasible,
                     });
                 }
-                try_solve_te(&problem, self.beta, method, budget)
+                let mut cache = self.inner.cache.borrow_mut();
+                let (sol, stats) = TeSolver::new(&problem)
+                    .beta(self.beta)
+                    .method(method)
+                    .budget(budget)
+                    .warm_cache(&mut cache)
+                    .solve_with_stats()?;
+                solver_stats.merge(&stats);
+                Ok(sol)
             };
             let (sol_loss, used_last_known_good) = match attempt(self.method) {
                 Ok(sol) => (sol.max_loss, false),
@@ -578,6 +597,7 @@ impl<'a> RobustController<'a> {
             policy_max_loss,
             requested_tunnels,
             committed_tunnels,
+            solver: solver_stats,
         }
     }
 }
@@ -632,6 +652,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            cache: Default::default(),
         };
         let robust =
             RobustController::new(inner, SolveMethod::Heuristic, RetryPolicy::default(), 0.99);
@@ -658,6 +679,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            cache: Default::default(),
         };
         let plain = mk().replay_trace(&fig4b_trace());
         let robust = RobustController::new(

@@ -56,6 +56,7 @@ fn main() {
         predictor: &nn,
         scheme: &scheme,
         latency: LatencyModel::default(),
+            cache: Default::default(),
     };
     let deg = ScriptedDegradation { start_s: 65, duration_s: 45, degree_db: 6.5, wobble_db: 0.3 };
     let trace = synthesize(FiberId(0), 0, 400, &[deg], Some(110), TraceConfig::default(), 5);

@@ -47,6 +47,7 @@ fn main() {
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
+            cache: Default::default(),
     };
     let robust = RobustController::new(inner, SolveMethod::Heuristic, RetryPolicy::default(), 0.99);
 

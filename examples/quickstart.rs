@@ -57,7 +57,11 @@ fn main() {
     // delivery.
     let scenarios = ScenarioSet::enumerate(&[1.0, 0.009, 0.001], 1, 0.0);
     let problem = TeProblem::new(&net, &flows, &updated, &scenarios);
-    let sol = solve_te(&problem, 0.99, SolveMethod::Heuristic);
+    let sol = TeSolver::new(&problem)
+        .beta(0.99)
+        .method(SolveMethod::Heuristic)
+        .solve()
+        .expect("heuristic solve");
     let delivered: f64 = (0..flows.len()).map(|f| sol.delivered(&problem, f, 0)).sum();
     println!(
         "After the s1s2 cut, PreTE still delivers {:>5.1} units (paper Figure 7(b): 10)",

@@ -40,6 +40,7 @@ fn controller_prepares_before_cut_on_b4() {
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
+        cache: Default::default(),
     };
     // Degradation 60 s before the cut — the typical lead time of
     // Figure 5(a).

@@ -177,7 +177,7 @@ proptest! {
         beta in 0.95f64..0.999,
     ) {
         use prete_core::examples::{triangle, triangle_flows};
-        use prete_core::optimizer::{solve_te, SolveMethod, TeProblem};
+        use prete_core::prelude::{SolveMethod, TeProblem, TeSolver};
         use prete_core::scenario::ScenarioSet;
         use prete_topology::TunnelSet;
 
@@ -187,9 +187,12 @@ proptest! {
         let scenarios = ScenarioSet::enumerate(&[p0, p1, p2], 2, 0.0);
         let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
 
-        let exact = solve_te(&problem, beta, SolveMethod::BranchAndBound);
-        let benders = solve_te(&problem, beta, SolveMethod::benders());
-        let heuristic = solve_te(&problem, beta, SolveMethod::Heuristic);
+        let solve = |method| {
+            TeSolver::new(&problem).beta(beta).method(method).solve().expect("solvable")
+        };
+        let exact = solve(SolveMethod::BranchAndBound);
+        let benders = solve(SolveMethod::benders());
+        let heuristic = solve(SolveMethod::Heuristic);
 
         prop_assert!((0.0..=1.0 + 1e-9).contains(&exact.max_loss));
         prop_assert!(benders.max_loss >= exact.max_loss - 1e-4,
@@ -298,5 +301,161 @@ proptest! {
         let a: Vec<u64> = p.schedule(seed).iter().map(|d| d.to_bits()).collect();
         let b: Vec<u64> = p.schedule(seed).iter().map(|d| d.to_bits()).collect();
         prop_assert_eq!(a, b);
+    }
+}
+
+/// A small random ring-plus-chords WAN for the solver determinism
+/// properties: `n` sites on a ring (one fiber + one IP link per span)
+/// plus proptest-chosen chords.
+fn random_wan(n: usize, chords: &[(usize, usize)]) -> prete_topology::Network {
+    use prete_topology::NetworkBuilder;
+    let mut b = NetworkBuilder::new("rand-wan");
+    let sites: Vec<_> = (0..n).map(|i| b.site(format!("s{i}"), 0)).collect();
+    let mut fibers = Vec::new();
+    for i in 0..n {
+        fibers.push(b.fiber(sites[i], sites[(i + 1) % n], 80.0 + 10.0 * i as f64, i % 3));
+    }
+    for &(a, off) in chords {
+        let i = a % n;
+        let j = (i + 2 + off % (n.saturating_sub(3).max(1))) % n;
+        if i == j || (i + 1) % n == j || (j + 1) % n == i {
+            continue;
+        }
+        fibers.push(b.fiber(sites[i], sites[j], 120.0, (i + j) % 3));
+    }
+    for &f in &fibers {
+        b.link_on(f, 100.0);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel solves are bit-identical to serial on seeded random
+    /// topologies: for 2, 4 and 8 threads (solver *and* problem
+    /// precompute), every allocation entry and `max_loss` match the
+    /// single-threaded run exactly.
+    #[test]
+    fn parallel_te_solves_match_serial_bitwise(
+        n in 4usize..7,
+        chords in prop::collection::vec((0usize..16, 0usize..8), 1..4),
+        seed in 0u64..1000,
+        p_scale in 0.2f64..1.0,
+        beta in 0.95f64..0.999,
+    ) {
+        use prete_core::prelude::{
+            ProblemConfig, SolveMethod, TeProblem, TeSolver,
+        };
+        use prete_core::scenario::ScenarioSet;
+        use prete_topology::{topologies, TunnelSet};
+
+        let net = random_wan(n, &chords);
+        let flows = topologies::flows_for(&net, 0.1, seed);
+        let tunnels = TunnelSet::initialize(&net, &flows, 3);
+        let probs: Vec<f64> =
+            (0..net.fibers().len()).map(|i| p_scale * 0.01 * (1.0 + (i % 5) as f64)).collect();
+        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+
+        for method in [SolveMethod::Heuristic, SolveMethod::benders()] {
+            let solve = |threads: usize| {
+                let cfg = ProblemConfig { precompute_threads: threads.max(1), ..Default::default() };
+                let problem = TeProblem::with_config(&net, &flows, &tunnels, &scenarios, cfg);
+                let sol = TeSolver::new(&problem)
+                    .beta(beta)
+                    .method(method)
+                    .threads(threads.max(1))
+                    .solve()
+                    .expect("solvable");
+                (
+                    sol.allocation.iter().map(|a| a.to_bits()).collect::<Vec<u64>>(),
+                    sol.max_loss.to_bits(),
+                )
+            };
+            let serial = solve(1);
+            for threads in [2usize, 4, 8] {
+                let parallel = solve(threads);
+                prop_assert_eq!(
+                    &serial.0, &parallel.0,
+                    "allocations diverge at {} threads ({:?})", threads, method
+                );
+                prop_assert_eq!(
+                    serial.1, parallel.1,
+                    "max_loss diverges at {} threads ({:?})", threads, method
+                );
+            }
+        }
+    }
+
+    /// Warm-started re-solves after a small demand perturbation reach
+    /// the same optimum as a cold solve of the perturbed problem,
+    /// within LP tolerance — the cache can change the path to the
+    /// optimum, never the optimum itself.
+    #[test]
+    fn warm_resolve_matches_cold_after_perturbation(
+        n in 4usize..7,
+        chords in prop::collection::vec((0usize..16, 0usize..8), 1..4),
+        seed in 0u64..1000,
+        wobble in prop::collection::vec(0.95f64..1.05, 24),
+        beta in 0.95f64..0.999,
+    ) {
+        use prete_core::prelude::{BasisCache, SolveMethod, TeProblem, TeSolver};
+        use prete_core::scenario::ScenarioSet;
+        use prete_topology::{topologies, TunnelSet};
+
+        let net = random_wan(n, &chords);
+        let base_flows = topologies::flows_for(&net, 0.1, seed);
+        let tunnels = TunnelSet::initialize(&net, &base_flows, 3);
+        let probs: Vec<f64> =
+            (0..net.fibers().len()).map(|i| 0.005 * (1.0 + (i % 5) as f64)).collect();
+        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+
+        let mut cache = BasisCache::new();
+        // Epoch 1: fill the cache on the unperturbed demands.
+        {
+            let problem = TeProblem::new(&net, &base_flows, &tunnels, &scenarios);
+            let _ = TeSolver::new(&problem)
+                .beta(beta)
+                .method(SolveMethod::Heuristic)
+                .warm_cache(&mut cache)
+                .solve()
+                .expect("solvable");
+        }
+        // Epoch 2: perturb every demand a few percent, then compare a
+        // warm-started re-solve against a cold solve.
+        let mut flows = base_flows.clone();
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.demand_gbps *= wobble[i % wobble.len()];
+        }
+        let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let (warm, stats) = TeSolver::new(&problem)
+            .beta(beta)
+            .method(SolveMethod::Heuristic)
+            .warm_cache(&mut cache)
+            .solve_with_stats()
+            .expect("solvable");
+        let cold = TeSolver::new(&problem)
+            .beta(beta)
+            .method(SolveMethod::Heuristic)
+            .solve()
+            .expect("solvable");
+        prop_assert!(stats.warm_hits > 0, "perturbed re-solve never hit the cache");
+        prop_assert!(
+            (warm.max_loss - cold.max_loss).abs() < 1e-6,
+            "warm {} vs cold {}", warm.max_loss, cold.max_loss
+        );
+        // Both allocations are feasible w.r.t. the same trunk groups.
+        let groups = prete_core::capacity::CapacityGroups::build(&net);
+        for sol in [&warm, &cold] {
+            let mut load = vec![0.0; groups.len()];
+            for t in tunnels.tunnels() {
+                for g in groups.groups_of_path(&t.path.links) {
+                    load[g] += sol.allocation[t.id.index()];
+                }
+            }
+            for (g, &l) in load.iter().enumerate() {
+                prop_assert!(l <= groups.capacity(g) + 1e-5, "group {}: {}", g, l);
+            }
+        }
     }
 }
