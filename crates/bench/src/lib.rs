@@ -15,6 +15,7 @@ pub mod availability;
 pub mod example3node;
 pub mod granularity;
 pub mod measurement;
+pub mod obs;
 pub mod prediction;
 pub mod runtime;
 

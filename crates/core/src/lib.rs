@@ -85,6 +85,7 @@ pub mod prelude {
         TeaVarScheme,
     };
     pub use prete_lp::BasisCache;
+    pub use prete_obs::{Recorder, RunReport};
     pub use prete_optical::{Dataset, DatasetConfig, FailureModel};
     pub use prete_topology::{
         topologies, Flow, FlowId, Network, TrafficMatrix, TunnelSet,

@@ -36,6 +36,7 @@ use prete_lp::{
     solve_mip, BasisCache, ConstraintId, LinearProgram, MipOptions, MipStatus, Sense,
     SimplexOptions, SolveStatus, VarId, WarmSimplex,
 };
+use prete_obs::Recorder;
 use prete_topology::{Flow, Network, TunnelId, TunnelSet};
 use serde::Serialize;
 use std::time::Instant;
@@ -338,6 +339,33 @@ impl SolverStats {
             self.warm_hits as f64 / total as f64
         }
     }
+
+    /// Publishes this solve's counters and timings into a
+    /// [`Recorder`], making the stats part of the run report instead of
+    /// a side-channel. Work units become `solver.*` counters, wall
+    /// times feed `solver.*_ms` histograms (skipped under a
+    /// deterministic clock, whose reports must not carry machine
+    /// timings), and the thread count becomes a gauge.
+    pub fn publish(&self, rec: &Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.add("solver.lp_solves", self.lp_solves as u64);
+        rec.add("solver.pivots", self.pivots as u64);
+        rec.add("solver.benders_iters", self.benders_iters as u64);
+        rec.add("solver.cuts_added", self.cuts_added as u64);
+        rec.add("solver.mip_nodes", self.mip_nodes as u64);
+        rec.add("solver.warm_hits", self.warm_hits as u64);
+        rec.add("solver.warm_misses", self.warm_misses as u64);
+        rec.add("solver.rhs_resolves", self.rhs_resolves as u64);
+        rec.gauge("solver.threads", self.threads as f64);
+        if !rec.is_deterministic() {
+            rec.observe("solver.total_ms", self.total_ms);
+            rec.observe("solver.subproblem_ms", self.subproblem_ms);
+            rec.observe("solver.master_ms", self.master_ms);
+            rec.observe("solver.polish_ms", self.polish_ms);
+        }
+    }
 }
 
 impl PartialEq for SolverStats {
@@ -385,12 +413,13 @@ pub struct TeSolver<'p, 'a, 'c> {
     budget: SolveBudget,
     threads: usize,
     cache: Option<&'c mut BasisCache>,
+    recorder: Recorder,
 }
 
 impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
     /// Creates a solver for `problem` with defaults: `beta = 0.99`,
     /// [`SolveMethod::Heuristic`], the default [`SolveBudget`], all
-    /// available cores, no warm-start cache.
+    /// available cores, no warm-start cache, no recorder.
     pub fn new(problem: &'p TeProblem<'a>) -> Self {
         Self {
             problem,
@@ -399,6 +428,7 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
             budget: SolveBudget::default(),
             threads: 0,
             cache: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -419,7 +449,19 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         self
     }
 
-    /// Deterministic work budget.
+    /// Deterministic work budget, surfacing exhaustion as
+    /// [`TeSolveError::BudgetExceeded`] instead of panicking.
+    ///
+    /// Semantics per method:
+    /// * `Heuristic` — two LP solves, always feasible (`Φ = 1` is a
+    ///   valid point), so it only fails on a fully spent budget
+    ///   (`max_benders_iters == 0`, "no solver work allowed").
+    /// * `Benders` — the iteration cap is the tighter of the method's
+    ///   own `max_iters` and the budget's; a zero cap fails
+    ///   immediately, otherwise the incumbent after the capped loop is
+    ///   returned.
+    /// * `BranchAndBound` — the exact MIP honours `max_mip_nodes` and
+    ///   reports `BudgetExceeded` / `Infeasible` instead of asserting.
     pub fn budget(mut self, budget: SolveBudget) -> Self {
         self.budget = budget;
         self
@@ -440,6 +482,14 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         self
     }
 
+    /// Streams solver telemetry (warm-start hits, Benders iterations,
+    /// final [`SolverStats`]) into `recorder`; the solve itself runs
+    /// under a `"solve"` span.
+    pub fn recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
     /// Runs the solve.
     pub fn solve(self) -> Result<TeSolution, TeSolveError> {
         self.solve_with_stats().map(|(sol, _)| sol)
@@ -449,12 +499,15 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
     /// solution.
     pub fn solve_with_stats(self) -> Result<(TeSolution, SolverStats), TeSolveError> {
         let t0 = Instant::now();
+        let recorder = self.recorder;
+        let span = recorder.span("solve");
         let threads = effective_threads(self.threads);
         let mut ctx = SolveCtx {
             problem: self.problem,
             threads,
             cache: self.cache,
             stats: SolverStats { threads, ..SolverStats::default() },
+            obs: recorder.clone(),
         };
         let budget = self.budget;
         let result = match self.method {
@@ -487,21 +540,12 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
             }
         };
         ctx.stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(span);
+        ctx.stats.publish(&recorder);
+        if let Err(e) = &result {
+            recorder.event_with("solve-failed", || e.to_string());
+        }
         result.map(|sol| (sol, ctx.stats))
-    }
-}
-
-/// Solves the TE program for availability target `beta`.
-///
-/// # Panics
-/// Panics if `beta` is not in (0, 1) or the program is infeasible.
-#[deprecated(
-    note = "use the `TeSolver` builder: `TeSolver::new(problem).beta(beta).method(method).solve()`"
-)]
-pub fn solve_te(problem: &TeProblem<'_>, beta: f64, method: SolveMethod) -> TeSolution {
-    match TeSolver::new(problem).beta(beta).method(method).solve() {
-        Ok(sol) => sol,
-        Err(e) => panic!("exact solve failed: {e}"),
     }
 }
 
@@ -563,35 +607,6 @@ impl std::fmt::Display for TeSolveError {
 }
 
 impl std::error::Error for TeSolveError {}
-
-/// Solves the TE program under an explicit work budget, surfacing
-/// budget exhaustion and infeasibility as errors instead of panicking.
-///
-/// Semantics per method:
-/// * `Heuristic` — two LP solves, always feasible (`Φ = 1` is a valid
-///   point), so it only fails on a fully spent budget
-///   (`max_benders_iters == 0`, treated as "no solver work allowed").
-/// * `Benders` — the iteration cap is the tighter of the method's own
-///   `max_iters` and the budget's; a zero cap fails immediately,
-///   otherwise the incumbent after the capped loop is returned.
-/// * `BranchAndBound` — the exact MIP honours `max_mip_nodes` and
-///   reports `BudgetExceeded` / `Infeasible` instead of asserting.
-///
-/// # Panics
-/// Panics if `beta` is not in (0, 1) — a caller bug, not a runtime
-/// fault.
-#[deprecated(
-    note = "use the `TeSolver` builder: \
-            `TeSolver::new(problem).beta(beta).method(method).budget(budget).solve()`"
-)]
-pub fn try_solve_te(
-    problem: &TeProblem<'_>,
-    beta: f64,
-    method: SolveMethod,
-    budget: SolveBudget,
-) -> Result<TeSolution, TeSolveError> {
-    TeSolver::new(problem).beta(beta).method(method).budget(budget).solve()
-}
 
 /// Per-flow greedy δ: scenario 0 plus affecting scenarios in decreasing
 /// probability until `p_0 + unaffecting + selected ≥ beta`.
@@ -658,6 +673,7 @@ struct SolveCtx<'p, 'a, 'c> {
     threads: usize,
     cache: Option<&'c mut BasisCache>,
     stats: SolverStats,
+    obs: Recorder,
 }
 
 impl SolveCtx<'_, '_, '_> {
@@ -674,8 +690,10 @@ impl SolveCtx<'_, '_, '_> {
         if self.cache.is_some() {
             if used {
                 self.stats.warm_hits += 1;
+                self.obs.event_with("warm-start", || format!("hit key={key:#x}"));
             } else {
                 self.stats.warm_misses += 1;
+                self.obs.event_with("warm-start", || format!("miss key={key:#x}"));
             }
         }
         self.stats.lp_solves += 1;
@@ -970,8 +988,10 @@ impl SolveCtx<'_, '_, '_> {
                 if self.cache.is_some() {
                     if used {
                         self.stats.warm_hits += 1;
+                        self.obs.event_with("warm-start", || format!("hit key={key:#x}"));
                     } else {
                         self.stats.warm_misses += 1;
+                        self.obs.event_with("warm-start", || format!("miss key={key:#x}"));
                     }
                 }
                 sol
@@ -1010,6 +1030,9 @@ impl SolveCtx<'_, '_, '_> {
                 .collect();
             cuts.push(Cut { constant, weights });
             self.stats.cuts_added += 1;
+            self.obs.event_with("benders-iteration", || {
+                format!("iter={iters} ub={ub:.6} lb={lb:.6} cuts={}", cuts.len())
+            });
             if ub - lb <= eps {
                 break;
             }
@@ -1345,20 +1368,50 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
+    fn recorder_captures_solve_span_and_counters() {
         let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
         let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
-        for method in [SolveMethod::Heuristic, SolveMethod::benders()] {
-            let old = solve_te(&p, 0.99, method);
-            let new = run(&p, 0.99, method);
-            assert_eq!(old.allocation, new.allocation);
-            assert_eq!(old.max_loss.to_bits(), new.max_loss.to_bits());
-            assert_eq!(old.delta, new.delta);
-            let budgeted = try_solve_te(&p, 0.99, method, SolveBudget::default())
-                .expect("within budget");
-            assert_eq!(budgeted.allocation, new.allocation);
-        }
+        let rec = Recorder::deterministic();
+        let mut cache = BasisCache::new();
+        let (_, stats) = TeSolver::new(&p)
+            .beta(0.99)
+            .method(SolveMethod::benders())
+            .threads(1)
+            .warm_cache(&mut cache)
+            .recorder(&rec)
+            .solve_with_stats()
+            .unwrap();
+        let (_, s2) = TeSolver::new(&p)
+            .beta(0.99)
+            .method(SolveMethod::benders())
+            .threads(1)
+            .warm_cache(&mut cache)
+            .recorder(&rec)
+            .solve_with_stats()
+            .unwrap();
+        let r = rec.report();
+        // One "solve" span per solve, feeding the span histogram.
+        assert_eq!(r.spans.iter().filter(|s| s.name == "solve").count(), 2);
+        assert_eq!(r.histograms["span.solve"].count, 2);
+        // Published counters aggregate the per-solve stats.
+        assert_eq!(
+            r.counters["solver.lp_solves"],
+            (stats.lp_solves + s2.lp_solves) as u64
+        );
+        assert_eq!(
+            r.counters["solver.benders_iters"],
+            (stats.benders_iters + s2.benders_iters) as u64
+        );
+        assert_eq!(r.counters["solver.warm_hits"], (stats.warm_hits + s2.warm_hits) as u64);
+        // Events fired for Benders iterations, and warm starts once the
+        // cache was primed.
+        assert!(!r.events_of_kind("benders-iteration").is_empty());
+        assert_eq!(
+            r.events_of_kind("warm-start").len(),
+            (stats.warm_hits + stats.warm_misses + s2.warm_hits + s2.warm_misses),
+        );
+        // Deterministic reports carry no machine wall times.
+        assert!(!r.histograms.contains_key("solver.total_ms"));
     }
 
     #[test]
@@ -1443,6 +1496,114 @@ mod tests {
         merged.merge(&again);
         assert_eq!(merged.lp_solves, stats.lp_solves * 2);
         assert_eq!(merged.threads, 1);
+    }
+
+    #[test]
+    fn solver_stats_serialize_every_field() {
+        // The vendored serde is one-way (no deserializer), so the
+        // round-trip check is on the JSON text: every field present
+        // with the value it was set to.
+        let stats = SolverStats {
+            total_ms: 12.5,
+            subproblem_ms: 7.25,
+            master_ms: 3.0,
+            polish_ms: 1.5,
+            lp_solves: 4,
+            pivots: 321,
+            benders_iters: 6,
+            cuts_added: 6,
+            mip_nodes: 9,
+            warm_hits: 2,
+            warm_misses: 1,
+            rhs_resolves: 5,
+            threads: 8,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        for field in [
+            r#""total_ms":12.5"#,
+            r#""subproblem_ms":7.25"#,
+            r#""master_ms":3.0"#,
+            r#""polish_ms":1.5"#,
+            r#""lp_solves":4"#,
+            r#""pivots":321"#,
+            r#""benders_iters":6"#,
+            r#""cuts_added":6"#,
+            r#""mip_nodes":9"#,
+            r#""warm_hits":2"#,
+            r#""warm_misses":1"#,
+            r#""rhs_resolves":5"#,
+            r#""threads":8"#,
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn solver_stats_equality_is_work_units_only() {
+        let base = SolverStats {
+            lp_solves: 3,
+            pivots: 100,
+            benders_iters: 2,
+            cuts_added: 2,
+            warm_hits: 1,
+            warm_misses: 1,
+            rhs_resolves: 1,
+            ..SolverStats::default()
+        };
+        // Different machine: wall times and thread count differ, work
+        // units agree — still equal.
+        let other_machine = SolverStats {
+            total_ms: 999.0,
+            subproblem_ms: 500.0,
+            master_ms: 400.0,
+            polish_ms: 99.0,
+            threads: 32,
+            ..base.clone()
+        };
+        assert_eq!(base, other_machine);
+        // Any differing work unit breaks equality.
+        assert_ne!(base, SolverStats { pivots: 101, ..base.clone() });
+        assert_ne!(base, SolverStats { warm_hits: 2, ..base.clone() });
+        assert_ne!(base, SolverStats { rhs_resolves: 0, ..base.clone() });
+    }
+
+    #[test]
+    fn stats_accumulate_across_warm_epochs() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let epochs = 4;
+        let run_epochs = || {
+            let mut cache = BasisCache::new();
+            let mut acc = SolverStats::default();
+            let mut per_epoch = Vec::new();
+            for _ in 0..epochs {
+                let (_, s) = TeSolver::new(&p)
+                    .beta(0.99)
+                    .threads(1)
+                    .warm_cache(&mut cache)
+                    .solve_with_stats()
+                    .unwrap();
+                acc.merge(&s);
+                per_epoch.push(s);
+            }
+            (acc, per_epoch)
+        };
+        let (acc, per_epoch) = run_epochs();
+        // Accumulation is exact: the merged counters are the sums.
+        assert_eq!(acc.lp_solves, per_epoch.iter().map(|s| s.lp_solves).sum::<usize>());
+        assert_eq!(acc.pivots, per_epoch.iter().map(|s| s.pivots).sum::<usize>());
+        assert_eq!(
+            acc.warm_hits + acc.warm_misses,
+            per_epoch.iter().map(|s| s.warm_hits + s.warm_misses).sum::<usize>()
+        );
+        // Epoch 1 misses cold, epochs 2.. restore the saved basis.
+        assert_eq!(per_epoch[0].warm_hits, 0);
+        assert!(per_epoch[1..].iter().all(|s| s.warm_hits > 0));
+        assert!(acc.warm_hit_rate() > 0.0 && acc.warm_hit_rate() < 1.0);
+        // Deterministic: a second pass over the same epochs merges to
+        // the same work-unit totals.
+        let (acc2, _) = run_epochs();
+        assert_eq!(acc, acc2);
     }
 
     #[test]

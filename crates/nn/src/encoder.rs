@@ -133,6 +133,37 @@ impl FeatureEncoder {
     /// # Panics
     /// Panics on an empty training set.
     pub fn fit(train: &[&DegradationEvent], mask: FeatureMask) -> FeatureEncoder {
+        Self::fit_recorded(train, mask, &prete_obs::Recorder::disabled())
+    }
+
+    /// [`FeatureEncoder::fit`] reporting the fitted category counts as
+    /// `encoder.*` gauges and an `encoder-fitted` event.
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn fit_recorded(
+        train: &[&DegradationEvent],
+        mask: FeatureMask,
+        obs: &prete_obs::Recorder,
+    ) -> FeatureEncoder {
+        assert!(!train.is_empty(), "cannot fit encoder on empty training set");
+        let enc = Self::fit_inner(train, mask);
+        obs.gauge("encoder.n_regions", enc.n_regions as f64);
+        obs.gauge("encoder.n_fibers", enc.n_fibers as f64);
+        obs.gauge("encoder.n_vendors", enc.n_vendors as f64);
+        obs.event_with("encoder-fitted", || {
+            format!(
+                "samples={} regions={} fibers={} vendors={}",
+                train.len(),
+                enc.n_regions,
+                enc.n_fibers,
+                enc.n_vendors
+            )
+        });
+        enc
+    }
+
+    fn fit_inner(train: &[&DegradationEvent], mask: FeatureMask) -> FeatureEncoder {
         assert!(!train.is_empty(), "cannot fit encoder on empty training set");
         FeatureEncoder {
             degree: Range::fit(train.iter().map(|e| e.features.degree_db)),

@@ -2,6 +2,7 @@
 //! per-link prediction-error distribution.
 
 use crate::Predictor;
+use prete_obs::Recorder;
 use prete_optical::DegradationEvent;
 use prete_stats::ConfusionMatrix;
 use serde::Serialize;
@@ -27,18 +28,46 @@ pub struct EvalReport {
 /// Evaluates a predictor on test events with the paper's positive
 /// definition ("a fail after degradation as positive").
 pub fn evaluate(name: &str, model: &dyn Predictor, test: &[&DegradationEvent]) -> EvalReport {
+    evaluate_recorded(name, model, test, &Recorder::disabled())
+}
+
+/// [`evaluate`] under an `"nn.eval"` span: publishes the Table 5 row
+/// as `nn.eval.*` gauges and an `nn-evaluated` summary event instead
+/// of printing anything — callers that want a table render the
+/// returned [`EvalReport`].
+pub fn evaluate_recorded(
+    name: &str,
+    model: &dyn Predictor,
+    test: &[&DegradationEvent],
+    obs: &Recorder,
+) -> EvalReport {
+    let _span = obs.span("nn.eval");
     let mut cm = ConfusionMatrix::new();
     for e in test {
         cm.observe(model.predict(e), e.led_to_cut);
     }
-    EvalReport {
+    let report = EvalReport {
         name: name.to_string(),
         precision: cm.precision(),
         recall: cm.recall(),
         f1: cm.f1(),
         accuracy: cm.accuracy(),
         confusion: cm,
-    }
+    };
+    obs.gauge(&format!("nn.eval.{name}.precision"), report.precision);
+    obs.gauge(&format!("nn.eval.{name}.recall"), report.recall);
+    obs.gauge(&format!("nn.eval.{name}.f1"), report.f1);
+    obs.gauge(&format!("nn.eval.{name}.accuracy"), report.accuracy);
+    obs.event_with("nn-evaluated", || {
+        format!(
+            "model={name} n={} precision={:.4} recall={:.4} f1={:.4}",
+            test.len(),
+            report.precision,
+            report.recall,
+            report.f1
+        )
+    });
+    report
 }
 
 /// Figure 14: per-link prediction error — for each fiber with test

@@ -12,6 +12,7 @@ use crate::adam::Adam;
 use crate::encoder::{Encoded, FeatureEncoder, FeatureMask};
 use crate::linalg::{softmax, Matrix};
 use crate::Predictor;
+use prete_obs::Recorder;
 use prete_optical::DegradationEvent;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -76,6 +77,20 @@ impl Mlp {
     /// # Panics
     /// Panics if `train` is empty or contains a single class only.
     pub fn train(train: &[&DegradationEvent], cfg: TrainConfig) -> Mlp {
+        Self::train_recorded(train, cfg, &Recorder::disabled())
+    }
+
+    /// [`Mlp::train`] under an `"nn.train"` span, publishing the
+    /// dataset shape as gauges and an `nn-trained` completion event.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty or contains a single class only.
+    pub fn train_recorded(
+        train: &[&DegradationEvent],
+        cfg: TrainConfig,
+        obs: &Recorder,
+    ) -> Mlp {
+        let _span = obs.span("nn.train");
         assert!(!train.is_empty(), "empty training set");
         let pos = train.iter().filter(|e| e.led_to_cut).count();
         assert!(
@@ -83,7 +98,9 @@ impl Mlp {
             "training set must contain both classes (positives: {pos}/{})",
             train.len()
         );
-        let encoder = FeatureEncoder::fit(train, cfg.mask);
+        let encoder = FeatureEncoder::fit_recorded(train, cfg.mask, obs);
+        obs.gauge("nn.train_samples", train.len() as f64);
+        obs.gauge("nn.positives", pos as f64);
         let d_in = 4 + HOURS + encoder.n_vendors + REGION_EMB + FIBER_EMB;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut model = Mlp {
@@ -151,6 +168,14 @@ impl Mlp {
                 opt_fe.step(model.fiber_emb.data_mut(), &g_fe);
             }
         }
+        obs.event_with("nn-trained", || {
+            format!(
+                "samples={} oversampled_to={} epochs={} d_in={d_in}",
+                train.len(),
+                indices.len(),
+                cfg.epochs
+            )
+        });
         model
     }
 

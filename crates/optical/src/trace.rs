@@ -236,6 +236,33 @@ pub struct Detection {
     pub cut_at_idx: Option<usize>,
 }
 
+/// [`detect`] under a `"detect"` span, emitting a
+/// `degradation-detected` event per recovered window and a
+/// `cut-detected` event when the trace ends in a cut.
+pub fn detect_recorded(trace: &LossTrace, obs: &prete_obs::Recorder) -> Detection {
+    let _span = obs.span("detect");
+    let detection = detect(trace);
+    for d in &detection.degradations {
+        obs.event_with("degradation-detected", || {
+            format!(
+                "fiber={} start_idx={} len={} degree_db={:.3}",
+                trace.fiber.0, d.start_idx, d.len, d.degree_db
+            )
+        });
+    }
+    if let Some(idx) = detection.cut_at_idx {
+        obs.event_with("cut-detected", || {
+            format!("fiber={} at_idx={idx}", trace.fiber.0)
+        });
+    }
+    obs.add("detector.traces", 1);
+    obs.add("detector.degradations", detection.degradations.len() as u64);
+    if detection.cut_at_idx.is_some() {
+        obs.add("detector.cuts", 1);
+    }
+    detection
+}
+
 /// Runs the threshold detector over a trace: estimates the baseline,
 /// classifies samples, groups consecutive degraded samples into events
 /// and extracts their §3.2 features.

@@ -11,7 +11,7 @@ use crate::latency::{LatencyModel, PipelineTiming};
 use prete_core::prelude::*;
 use prete_core::schemes::{TeContext, TeScheme};
 use prete_nn::Predictor;
-use prete_optical::trace::{detect, LossTrace};
+use prete_optical::trace::{detect_recorded, LossTrace};
 use prete_optical::{DegradationEvent, DegradationFeatures};
 use prete_topology::FiberId;
 use serde::Serialize;
@@ -86,6 +86,10 @@ pub struct Controller<'a> {
     /// recompute saves its optimal bases and the next one on the same
     /// problem structure restores them, skipping simplex phase 1.
     pub cache: std::cell::RefCell<BasisCache>,
+    /// Telemetry sink: each replay runs under an `"epoch"` span with
+    /// `"detect"`, `"predict"`, `"tunnel"` and `"solve"` children plus
+    /// structured events. Defaults to [`Recorder::disabled`] (no-op).
+    pub obs: Recorder,
 }
 
 impl<'a> Controller<'a> {
@@ -96,8 +100,10 @@ impl<'a> Controller<'a> {
     /// first detected degradation triggers prediction, Algorithm 1 and
     /// the TE recompute, all stamped with the latency model.
     pub fn replay_trace(&self, trace: &LossTrace) -> ControllerReport {
+        let _epoch = self.obs.span("epoch");
+        self.obs.add("controller.epochs", 1);
         let mut events = Vec::new();
-        let detection = detect(trace);
+        let detection = detect_recorded(trace, &self.obs);
         let mut pipeline = None;
         let mut prepared_before_cut = None;
         let mut solver = None;
@@ -130,7 +136,13 @@ impl<'a> Controller<'a> {
                 led_to_cut: false,
                 cut_delay_s: None,
             };
-            let p = self.predictor.predict_proba(&event);
+            let p = {
+                let _predict = self.obs.span("predict");
+                self.predictor.predict_proba(&event)
+            };
+            self.obs.event_with("prediction-fired", || {
+                format!("fiber={} p_cut={p:.4}", fiber.index())
+            });
             events.push(ControllerEvent::DegradationDetected {
                 fiber,
                 at_s,
@@ -144,13 +156,18 @@ impl<'a> Controller<'a> {
                 base_tunnels: self.base_tunnels,
             };
             let state = DegradationState::single(fiber);
-            let plan = self.scheme.plan(&ctx, &state, None);
-            // Schemes may *prune* tunnels as well as add them, so the
-            // plan can be smaller than the base set — saturate instead
-            // of underflowing (an update that removes tunnels installs
-            // nothing new).
-            let new_tunnels = plan.tunnels.len().saturating_sub(self.base_tunnels.len());
-            let timing = self.latency.pipeline(new_tunnels);
+            let (plan, new_tunnels, timing) = {
+                let _tunnel = self.obs.span("tunnel");
+                let plan = self.scheme.plan(&ctx, &state, None);
+                // Schemes may *prune* tunnels as well as add them, so
+                // the plan can be smaller than the base set — saturate
+                // instead of underflowing (an update that removes
+                // tunnels installs nothing new).
+                let new_tunnels =
+                    plan.tunnels.len().saturating_sub(self.base_tunnels.len());
+                let timing = self.latency.pipeline(new_tunnels);
+                (plan, new_tunnels, timing)
+            };
             let ready_at_s = at_s + timing.total_ms() / 1000.0;
             let decision_at_s = at_s + timing.decision_ms() / 1000.0;
             // Loss bound of the recomputed policy for reporting.
@@ -162,15 +179,22 @@ impl<'a> Controller<'a> {
                 .beta(0.99)
                 .method(SolveMethod::Heuristic)
                 .warm_cache(&mut cache)
+                .recorder(&self.obs)
                 .solve_with_stats()
                 .expect("heuristic solve under the default budget is infallible");
             drop(cache);
             solver = Some(stats);
+            self.obs.event_with("policy-recomputed", || {
+                format!("max_loss={:.6} at_s={decision_at_s:.3}", sol.max_loss)
+            });
             events.push(ControllerEvent::PolicyRecomputed {
                 max_loss: sol.max_loss,
                 at_s: decision_at_s,
             });
             if new_tunnels > 0 {
+                self.obs.event_with("tunnels-established", || {
+                    format!("count={new_tunnels} ready_at_s={ready_at_s:.3}")
+                });
                 events.push(ControllerEvent::TunnelsEstablished {
                     count: new_tunnels,
                     ready_at_s,
@@ -181,7 +205,16 @@ impl<'a> Controller<'a> {
         }
         if let (Some(at), Some(idx)) = (cut_at, detection.cut_at_idx) {
             let _ = idx;
+            self.obs.event_with("cut-observed", || {
+                format!("fiber={} at_s={at:.1}", trace.fiber.index())
+            });
             events.push(ControllerEvent::CutObserved { fiber: trace.fiber, at_s: at });
+        }
+        if let Some(ok) = prepared_before_cut {
+            self.obs.add(
+                if ok { "controller.prepared_before_cut" } else { "controller.missed_cut" },
+                1,
+            );
         }
         ControllerReport { events, pipeline, prepared_before_cut, solver }
     }
@@ -264,6 +297,7 @@ mod tests {
             scheme: &scheme,
             latency: LatencyModel::default(),
             cache: Default::default(),
+            obs: Default::default(),
         };
         let report = controller.replay_trace(&fig4b_trace());
         // Degradation detected, tunnels built, policy recomputed, cut seen.
@@ -327,6 +361,7 @@ mod tests {
             scheme: &scheme,
             latency: LatencyModel::default(),
             cache: Default::default(),
+            obs: Default::default(),
         };
         let report = controller.replay_trace(&fig4b_trace());
         // Pruning installs nothing new: no establishment event, and the
@@ -357,6 +392,7 @@ mod tests {
             scheme: &scheme,
             latency: LatencyModel::default(),
             cache: Default::default(),
+            obs: Default::default(),
         };
         let trace = synthesize(FiberId(0), 0, 300, &[], None, TraceConfig::default(), 4);
         let report = controller.replay_trace(&trace);

@@ -27,7 +27,7 @@ use crate::{Controller, ControllerEvent};
 use prete_core::prelude::*;
 use prete_core::schemes::TeContext;
 use prete_nn::{PredictError, Predictor, TryPredictor};
-use prete_optical::trace::{detect, LossTrace};
+use prete_optical::trace::{detect_recorded, LossTrace};
 use prete_optical::{DegradationEvent, DegradationFeatures};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -250,6 +250,27 @@ pub fn sanitize_trace(trace: &LossTrace) -> LossTrace {
     out
 }
 
+/// Records a fallback firing both as a structured recorder event
+/// (`degraded-mode` / `fallback-recovered`) and in the report's
+/// chronological list.
+fn note_fallback(obs: &Recorder, fallbacks: &mut Vec<FallbackRecord>, r: FallbackRecord) {
+    match &r.outcome {
+        FallbackOutcome::DegradedTo(mode) => {
+            obs.add("robust.degraded_modes", 1);
+            obs.event_with("degraded-mode", || {
+                format!("stage={:?} mode={mode} fault={}", r.stage, r.fault)
+            });
+        }
+        FallbackOutcome::RecoveredAfterRetry { attempts, .. } => {
+            obs.add("robust.recoveries", 1);
+            obs.event_with("fallback-recovered", || {
+                format!("stage={:?} attempts={attempts} fault={}", r.stage, r.fault)
+            });
+        }
+    }
+    fallbacks.push(r);
+}
+
 /// A predictor wrapper that injects scripted faults ahead of the real
 /// model.
 struct FaultyPredictor<'a> {
@@ -323,6 +344,9 @@ impl<'a> RobustController<'a> {
     /// in force (fresh, heuristic, or last-known-good). Two replays of
     /// the same trace and fault plan return identical reports.
     pub fn replay_trace(&self, trace: &LossTrace, plan: &FaultPlan) -> RobustReport {
+        let obs = self.inner.obs.clone();
+        let _epoch = obs.span("epoch");
+        obs.add("controller.epochs", 1);
         let mut inj = FaultInjector::new(plan);
         let mut fallbacks: Vec<FallbackRecord> = Vec::new();
 
@@ -331,11 +355,15 @@ impl<'a> RobustController<'a> {
         let observed = match inj.corrupt_trace(trace) {
             Some(corrupted) => {
                 let sanitized = sanitize_trace(&corrupted);
-                fallbacks.push(FallbackRecord {
-                    stage: FaultStage::Telemetry,
-                    fault: "telemetry corruption (drops/spikes/reorder)".into(),
-                    outcome: FallbackOutcome::DegradedTo(DegradedMode::SanitizedTelemetry),
-                });
+                note_fallback(
+                    &obs,
+                    &mut fallbacks,
+                    FallbackRecord {
+                        stage: FaultStage::Telemetry,
+                        fault: "telemetry corruption (drops/spikes/reorder)".into(),
+                        outcome: FallbackOutcome::DegradedTo(DegradedMode::SanitizedTelemetry),
+                    },
+                );
                 sanitized
             }
             None => trace.clone(),
@@ -349,7 +377,7 @@ impl<'a> RobustController<'a> {
         let mut committed_tunnels = 0;
         let mut solver_stats = SolverStats::default();
 
-        let detection = detect(&observed);
+        let detection = detect_recorded(&observed, &obs);
         let cut_at = detection.cut_at_idx.map(|i| i as f64 * observed.dt_s as f64);
 
         if let Some(deg) = detection.degradations.first() {
@@ -379,6 +407,7 @@ impl<'a> RobustController<'a> {
             // ---- Stage 2: prediction, with retry → static prior.
             let mut retry_backoff_ms = 0.0;
             let p = {
+                let _predict = obs.span("predict");
                 let schedule = self.retry.schedule(plan.seed ^ 0x9d1c_0002);
                 let faulty = FaultyPredictor {
                     inner: self.inner.predictor,
@@ -405,14 +434,20 @@ impl<'a> RobustController<'a> {
                 match result {
                     Some(p) => {
                         if attempts > 1 {
-                            fallbacks.push(FallbackRecord {
-                                stage: FaultStage::Prediction,
-                                fault: last_err.expect("retried ⇒ at least one error").to_string(),
-                                outcome: FallbackOutcome::RecoveredAfterRetry {
-                                    attempts,
-                                    backoff_ms: retry_backoff_ms,
+                            note_fallback(
+                                &obs,
+                                &mut fallbacks,
+                                FallbackRecord {
+                                    stage: FaultStage::Prediction,
+                                    fault: last_err
+                                        .expect("retried ⇒ at least one error")
+                                        .to_string(),
+                                    outcome: FallbackOutcome::RecoveredAfterRetry {
+                                        attempts,
+                                        backoff_ms: retry_backoff_ms,
+                                    },
                                 },
-                            });
+                            );
                         }
                         p
                     }
@@ -422,15 +457,24 @@ impl<'a> RobustController<'a> {
                         // assume with no model at all.
                         let prior = (1.0 - prete_optical::ALPHA_PREDICTABLE)
                             * self.inner.model.profiles()[fiber.index()].p_cut;
-                        fallbacks.push(FallbackRecord {
-                            stage: FaultStage::Prediction,
-                            fault: last_err.expect("exhausted ⇒ errors").to_string(),
-                            outcome: FallbackOutcome::DegradedTo(DegradedMode::PriorProbability),
-                        });
+                        note_fallback(
+                            &obs,
+                            &mut fallbacks,
+                            FallbackRecord {
+                                stage: FaultStage::Prediction,
+                                fault: last_err.expect("exhausted ⇒ errors").to_string(),
+                                outcome: FallbackOutcome::DegradedTo(
+                                    DegradedMode::PriorProbability,
+                                ),
+                            },
+                        );
                         prior
                     }
                 }
             };
+            obs.event_with("prediction-fired", || {
+                format!("fiber={} p_cut={p:.4}", fiber.index())
+            });
             events.push(ControllerEvent::DegradationDetected {
                 fiber,
                 at_s,
@@ -446,7 +490,10 @@ impl<'a> RobustController<'a> {
                 base_tunnels: self.inner.base_tunnels,
             };
             let state = DegradationState::single(fiber);
-            let tunnel_plan = self.inner.scheme.plan(&ctx, &state, None);
+            let tunnel_plan = {
+                let _tunnel = obs.span("tunnel");
+                self.inner.scheme.plan(&ctx, &state, None)
+            };
             requested_tunnels =
                 tunnel_plan.tunnels.len().saturating_sub(self.inner.base_tunnels.len());
 
@@ -469,6 +516,7 @@ impl<'a> RobustController<'a> {
                     .method(method)
                     .budget(budget)
                     .warm_cache(&mut cache)
+                    .recorder(&obs)
                     .solve_with_stats()?;
                 solver_stats.merge(&stats);
                 Ok(sol)
@@ -477,19 +525,33 @@ impl<'a> RobustController<'a> {
                 Ok(sol) => (sol.max_loss, false),
                 Err(primary_err) => match attempt(SolveMethod::Heuristic) {
                     Ok(sol) => {
-                        fallbacks.push(FallbackRecord {
-                            stage: FaultStage::Solve,
-                            fault: primary_err.to_string(),
-                            outcome: FallbackOutcome::DegradedTo(DegradedMode::HeuristicSolver),
-                        });
+                        note_fallback(
+                            &obs,
+                            &mut fallbacks,
+                            FallbackRecord {
+                                stage: FaultStage::Solve,
+                                fault: primary_err.to_string(),
+                                outcome: FallbackOutcome::DegradedTo(
+                                    DegradedMode::HeuristicSolver,
+                                ),
+                            },
+                        );
                         (sol.max_loss, false)
                     }
                     Err(heuristic_err) => {
-                        fallbacks.push(FallbackRecord {
-                            stage: FaultStage::Solve,
-                            fault: format!("{primary_err}; heuristic also failed: {heuristic_err}"),
-                            outcome: FallbackOutcome::DegradedTo(DegradedMode::LastKnownGoodPolicy),
-                        });
+                        note_fallback(
+                            &obs,
+                            &mut fallbacks,
+                            FallbackRecord {
+                                stage: FaultStage::Solve,
+                                fault: format!(
+                                    "{primary_err}; heuristic also failed: {heuristic_err}"
+                                ),
+                                outcome: FallbackOutcome::DegradedTo(
+                                    DegradedMode::LastKnownGoodPolicy,
+                                ),
+                            },
+                        );
                         (self.last_known_good.max_loss, true)
                     }
                 },
@@ -512,23 +574,33 @@ impl<'a> RobustController<'a> {
                                     .iter()
                                     .sum();
                             tunnel_backoff_ms += backoff;
-                            fallbacks.push(FallbackRecord {
-                                stage: FaultStage::TunnelEstablishment,
-                                fault: "transient tunnel RPC failure".into(),
-                                outcome: FallbackOutcome::RecoveredAfterRetry {
-                                    attempts,
-                                    backoff_ms: backoff,
+                            note_fallback(
+                                &obs,
+                                &mut fallbacks,
+                                FallbackRecord {
+                                    stage: FaultStage::TunnelEstablishment,
+                                    fault: "transient tunnel RPC failure".into(),
+                                    outcome: FallbackOutcome::RecoveredAfterRetry {
+                                        attempts,
+                                        backoff_ms: backoff,
+                                    },
                                 },
-                            });
+                            );
                         }
                     }
                     TunnelOutcome::Abandoned { attempts } => {
                         tunnel_backoff_ms += tunnel_schedule.iter().sum::<f64>();
-                        fallbacks.push(FallbackRecord {
-                            stage: FaultStage::TunnelEstablishment,
-                            fault: format!("tunnel RPC failed {attempts}× (permanent)"),
-                            outcome: FallbackOutcome::DegradedTo(DegradedMode::PartialTunnelCommit),
-                        });
+                        note_fallback(
+                            &obs,
+                            &mut fallbacks,
+                            FallbackRecord {
+                                stage: FaultStage::TunnelEstablishment,
+                                fault: format!("tunnel RPC failed {attempts}× (permanent)"),
+                                outcome: FallbackOutcome::DegradedTo(
+                                    DegradedMode::PartialTunnelCommit,
+                                ),
+                            },
+                        );
                     }
                 }
             }
@@ -571,11 +643,20 @@ impl<'a> RobustController<'a> {
             }
             let ready_at_s = at_s + timing.total_ms() / 1000.0;
             let decision_at_s = at_s + timing.decision_ms() / 1000.0;
+            obs.event_with("policy-recomputed", || {
+                format!("max_loss={policy_max_loss:.6} at_s={decision_at_s:.3}")
+            });
             events.push(ControllerEvent::PolicyRecomputed {
                 max_loss: policy_max_loss,
                 at_s: decision_at_s,
             });
             if committed_tunnels > 0 {
+                obs.event_with("tunnels-established", || {
+                    format!(
+                        "count={committed_tunnels} requested={requested_tunnels} \
+                         ready_at_s={ready_at_s:.3}"
+                    )
+                });
                 events.push(ControllerEvent::TunnelsEstablished {
                     count: committed_tunnels,
                     ready_at_s,
@@ -586,6 +667,9 @@ impl<'a> RobustController<'a> {
         }
 
         if let Some(at) = cut_at {
+            obs.event_with("cut-observed", || {
+                format!("fiber={} at_s={at:.1}", observed.fiber.index())
+            });
             events.push(ControllerEvent::CutObserved { fiber: observed.fiber, at_s: at });
         }
 
@@ -653,6 +737,7 @@ mod tests {
             scheme: &scheme,
             latency: LatencyModel::default(),
             cache: Default::default(),
+            obs: Default::default(),
         };
         let robust =
             RobustController::new(inner, SolveMethod::Heuristic, RetryPolicy::default(), 0.99);
@@ -680,6 +765,7 @@ mod tests {
             scheme: &scheme,
             latency: LatencyModel::default(),
             cache: Default::default(),
+            obs: Default::default(),
         };
         let plain = mk().replay_trace(&fig4b_trace());
         let robust = RobustController::new(

@@ -31,9 +31,16 @@ fn main() {
         100.0 * dataset.positive_fraction()
     );
 
+    // Live recorder: real wall times for the whole pipeline.
+    let obs = Recorder::live();
+
     // 2. Train the failure predictor (Appendix A.2 recipe).
     let (train, test) = dataset.train_test_split(0.8);
-    let nn = Mlp::train(&train, TrainConfig { epochs: 80, seed: 1, ..Default::default() });
+    let nn = Mlp::train_recorded(
+        &train,
+        TrainConfig { epochs: 80, seed: 1, ..Default::default() },
+        &obs,
+    );
     let report = evaluate("NN", &nn, &test);
     println!(
         "Trained MLP: precision {:.2}, recall {:.2}, F1 {:.2} on {} held-out events",
@@ -56,7 +63,8 @@ fn main() {
         predictor: &nn,
         scheme: &scheme,
         latency: LatencyModel::default(),
-            cache: Default::default(),
+        cache: Default::default(),
+        obs: obs.clone(),
     };
     let deg = ScriptedDegradation { start_s: 65, duration_s: 45, degree_db: 6.5, wobble_db: 0.3 };
     let trace = synthesize(FiberId(0), 0, 400, &[deg], Some(110), TraceConfig::default(), 5);
@@ -76,5 +84,18 @@ fn main() {
         Some(true) => println!("Preparation finished BEFORE the cut — traffic protected."),
         Some(false) => println!("Preparation finished after the cut."),
         None => println!("No cut in this trace."),
+    }
+
+    // 4. The run report: span tree + counters collected along the way.
+    let run = obs.report();
+    println!("\nRun report: spans {:?}", run.span_names());
+    for (name, count) in &run.counters {
+        println!("  {name} = {count}");
+    }
+    for row in run.stage_attribution("epoch") {
+        println!(
+            "  stage {:<8} {:>8.2} ms ({:>5.1} % of epoch)",
+            row.stage, row.total_ms, row.share_pct
+        );
     }
 }

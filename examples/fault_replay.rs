@@ -47,7 +47,8 @@ fn main() {
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
-            cache: Default::default(),
+        cache: Default::default(),
+        obs: Default::default(),
     };
     let robust = RobustController::new(inner, SolveMethod::Heuristic, RetryPolicy::default(), 0.99);
 

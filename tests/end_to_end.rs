@@ -41,6 +41,7 @@ fn controller_prepares_before_cut_on_b4() {
         scheme: &scheme,
         latency: LatencyModel::default(),
         cache: Default::default(),
+        obs: Default::default(),
     };
     // Degradation 60 s before the cut — the typical lead time of
     // Figure 5(a).
@@ -51,6 +52,40 @@ fn controller_prepares_before_cut_on_b4() {
     let timing = report.pipeline.expect("pipeline ran");
     assert!(timing.decision_ms() < 300.0, "decision {} ms", timing.decision_ms());
     assert_eq!(report.prepared_before_cut, Some(true));
+}
+
+/// The observability acceptance path: an instrumented controller replay
+/// on the WAN topology emits a JSON run report whose span tree covers
+/// the whole pipeline (detect → predict → tunnel → solve under each
+/// epoch), with epoch-latency percentiles and the solver counters
+/// absorbed from [`SolverStats`].
+#[test]
+fn wan_run_report_covers_pipeline() {
+    let run = prete_bench::obs::run_report_wan(2);
+    let r = &run.report;
+    assert!(r.deterministic, "acceptance path uses the logical clock");
+    let names = r.span_names();
+    for stage in ["epoch", "detect", "predict", "tunnel", "solve"] {
+        assert!(names.iter().any(|n| n == stage), "missing span {stage}: {names:?}");
+    }
+    // Per-stage spans nest under each epoch root.
+    for root in r.spans.iter().filter(|s| s.name == "epoch") {
+        let children: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(children, ["detect", "predict", "tunnel", "solve"]);
+    }
+    // Epoch-latency histogram with its percentile ladder.
+    let h = &r.histograms["span.epoch"];
+    assert_eq!(h.count, 2);
+    assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+    // Solver counters made it into the report (no SolverStats side
+    // channel), and the structured event log saw the cut.
+    assert!(r.counters["solver.lp_solves"] > 0);
+    assert!(r.counters["solver.pivots"] > 0);
+    assert_eq!(r.counters["controller.epochs"], 2);
+    assert_eq!(r.events_of_kind("cut-observed").len(), 2);
+    // The JSON export carries the span tree.
+    let json = r.to_json();
+    assert!(json.contains("\"spans\"") && json.contains("\"detect\""));
 }
 
 /// The §7 production replay: PreTE picks s1→s4→s3 and avoids the

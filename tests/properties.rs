@@ -458,4 +458,79 @@ proptest! {
             }
         }
     }
+
+    /// Run reports are replay-deterministic: the same trace through an
+    /// identically-configured, logically-clocked controller serializes
+    /// to byte-identical JSON — for arbitrary degradation scripts,
+    /// noise seeds, cut times and predictor outputs.
+    #[test]
+    fn run_reports_are_replay_deterministic(
+        start_s in 20u64..80,
+        duration_s in 10u64..60,
+        degree_db in 3.0f64..8.0,
+        // `< 30` is a cut that many seconds after the degradation ends;
+        // 30.. means the trace never cuts (the vendored proptest has no
+        // `prop::option`).
+        cut_offset in 0u64..40,
+        noise_seed in 0u64..1000,
+        p_cut in 0.1f64..0.95,
+    ) {
+        use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+        use prete_core::examples::{triangle, triangle_flows};
+        use prete_core::prelude::*;
+        use prete_nn::Predictor;
+        use prete_optical::trace::{synthesize, ScriptedDegradation, TraceConfig};
+        use prete_optical::DegradationEvent;
+        use prete_sim::latency::LatencyModel;
+        use prete_sim::Controller;
+        use prete_topology::FiberId;
+
+        struct Fixed(f64);
+        impl Predictor for Fixed {
+            fn predict_proba(&self, _e: &DegradationEvent) -> f64 {
+                self.0
+            }
+        }
+
+        let net = triangle();
+        let model = FailureModel::new(&net, 42);
+        let flows: Vec<Flow> =
+            triangle_flows().into_iter().map(|f| Flow { demand_gbps: 4.0, ..f }).collect();
+        let base = TunnelSet::initialize(&net, &flows, 1);
+        let truth = TrueConditionals::ground_truth(&net, &model, 50, 1);
+        let scheme =
+            prete_core::schemes::PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+        let predictor = Fixed(p_cut);
+        let deg = ScriptedDegradation { start_s, duration_s, degree_db, wobble_db: 0.2 };
+        let cut_at = (cut_offset < 30).then(|| start_s + duration_s + cut_offset);
+        let trace = synthesize(
+            FiberId(0),
+            0,
+            start_s + duration_s + 60,
+            &[deg],
+            cut_at,
+            TraceConfig::default(),
+            noise_seed,
+        );
+
+        let run = || {
+            let obs = Recorder::deterministic();
+            let controller = Controller {
+                net: &net,
+                model: &model,
+                flows: &flows,
+                base_tunnels: &base,
+                predictor: &predictor,
+                scheme: &scheme,
+                latency: LatencyModel::default(),
+                cache: Default::default(),
+                obs: obs.clone(),
+            };
+            let _ = controller.replay_trace(&trace);
+            obs.report().to_json()
+        };
+        let first = run();
+        prop_assert!(first.contains("\"deterministic\":true"));
+        prop_assert_eq!(first, run());
+    }
 }
