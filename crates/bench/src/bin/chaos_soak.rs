@@ -1,0 +1,91 @@
+//! `chaos_soak` — crash/restart chaos soak on the WAN topology.
+//!
+//! ```text
+//! Usage: chaos_soak [--seeds A,B,C] [--epochs N] [--crash-prob P]
+//!                   [--checkpoint-every N] [--topology twan|b4|ibm]
+//!                   [--flow-frac F] [--out FILE]
+//! ```
+//!
+//! Runs one seeded chaos soak per seed: the durable controller is
+//! killed and rebuilt at random epochs (sometimes mid-solve, sometimes
+//! with a corrupted checkpoint or a truncated journal) while every
+//! epoch is checked against the chaos invariants — availability floor,
+//! finite allocations, span-tree well-formedness, bit-identity with an
+//! uninterrupted golden run, and monotone warm-cache counters.
+//!
+//! All soak reports are written to `--out` (default `CHAOS_SOAK.json`).
+//! On a violation the report embeds the minimized repro — the smallest
+//! `(seed, epoch, event)` triple that still reproduces it — and the
+//! binary exits non-zero so CI fails loudly with the artifact attached.
+
+use prete_bench::chaos::{render_soak, soak_on};
+use prete_sim::ChaosPlan;
+use prete_topology::topologies;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seeds: Vec<u64> = flag("--seeds")
+        .unwrap_or_else(|| "42,1729,31337".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--seeds takes comma-separated integers"))
+        .collect();
+    let epochs: u64 = flag("--epochs")
+        .map(|v| v.parse().expect("--epochs takes an integer"))
+        .unwrap_or(50);
+    let crash_prob: f64 = flag("--crash-prob")
+        .map(|v| v.parse().expect("--crash-prob takes a number"))
+        .unwrap_or(0.35);
+    let checkpoint_every: u64 = flag("--checkpoint-every")
+        .map(|v| v.parse().expect("--checkpoint-every takes an integer"))
+        .unwrap_or(5);
+    let out = flag("--out").unwrap_or_else(|| "CHAOS_SOAK.json".into());
+    // WAN is the full soak; B4 keeps 3 × 50 epochs inside a CI-smoke
+    // budget (the chaos machinery under test is identical).
+    let (net, default_frac) = match flag("--topology").as_deref().unwrap_or("twan") {
+        "twan" => (topologies::twan(), 0.02),
+        "b4" => (topologies::b4(), 0.08),
+        "ibm" => (topologies::ibm(), 0.08),
+        other => panic!("--topology takes twan|b4|ibm, got {other}"),
+    };
+    let flow_frac: f64 = flag("--flow-frac")
+        .map(|v| v.parse().expect("--flow-frac takes a number"))
+        .unwrap_or(default_frac);
+
+    let mut reports = Vec::new();
+    let mut violated = false;
+    for &seed in &seeds {
+        let plan = ChaosPlan {
+            crash_prob,
+            checkpoint_every,
+            ..ChaosPlan::new(seed, epochs)
+        };
+        plan.validate().expect("valid chaos plan");
+        let report = match soak_on(&net, flow_frac, &plan) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chaos soak seed {seed} failed to run: {e:?}");
+                std::process::exit(2);
+            }
+        };
+        print!("{}", render_soak(&report));
+        violated |= report.violation.is_some();
+        reports.push(report);
+    }
+
+    let json = serde_json::to_string_pretty(&reports).expect("serialize");
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    println!("  [json → {out}]");
+
+    if violated {
+        eprintln!("chaos soak found invariant violations — see {out} for minimized repros");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Chaos-soak experiments behind the `chaos_soak` binary.
+//!
+//! [`soak_on`] assembles the same WAN-shaped controller testbed as the
+//! run-report experiments — const-probability predictor, Benders with a
+//! shared warm-start cache, default retry policy — wraps it in the
+//! crash-safe [`DurableController`](prete_sim::DurableController)
+//! machinery and drives it through a seeded [`ChaosPlan`]: random
+//! crash/restart cycles, corrupted checkpoints and truncated journals,
+//! with every epoch checked against the chaos invariants (availability
+//! floor, finite allocations, span-tree well-formedness, bit-identity
+//! with an uninterrupted golden run, monotone warm-cache counters).
+
+use crate::SEED;
+use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+use prete_core::prelude::*;
+use prete_core::schemes::PreTeScheme;
+use prete_nn::Predictor;
+use prete_optical::DegradationEvent;
+use prete_sim::latency::LatencyModel;
+use prete_sim::{
+    chaos_soak, ChaosPlan, CheckpointError, Controller, RetryPolicy, RobustController,
+    ScriptedWorkload, SoakReport,
+};
+use prete_topology::{topologies, Network};
+use std::fmt::Write as _;
+
+/// Fixed-probability predictor: keeps the soak workload independent of
+/// NN training so runs are cheap and bit-reproducible.
+struct ConstPredictor(f64);
+impl Predictor for ConstPredictor {
+    fn predict_proba(&self, _e: &DegradationEvent) -> f64 {
+        self.0
+    }
+}
+
+/// Runs one chaos soak on an arbitrary topology — tests use B4 so the
+/// debug-mode workload stays in seconds; the WAN soak is release-only.
+pub fn soak_on(net: &Network, flow_frac: f64, plan: &ChaosPlan) -> Result<SoakReport, CheckpointError> {
+    let model = FailureModel::new(net, SEED);
+    let flows = topologies::flows_for(net, flow_frac, SEED);
+    let tunnels = TunnelSet::initialize(net, &flows, 2);
+    let truth = TrueConditionals::ground_truth(net, &model, 40, 1);
+    let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+    let predictor = ConstPredictor(0.8);
+    let mk = || {
+        RobustController::new(
+            Controller {
+                net,
+                model: &model,
+                flows: &flows,
+                base_tunnels: &tunnels,
+                predictor: &predictor,
+                scheme: &scheme,
+                latency: LatencyModel::default(),
+                cache: Default::default(),
+                obs: Default::default(),
+            },
+            // Heuristic keeps 50-epoch WAN soaks inside the CI budget;
+            // it still drives the warm-start cache (its subproblem LPs
+            // warm-hit across epochs), so the checkpointed cache
+            // snapshot genuinely matters for the bit-identity
+            // invariant. The Benders path is soaked on the triangle
+            // testbed in `prete-sim::chaos`'s own tests.
+            SolveMethod::Heuristic,
+            RetryPolicy::default(),
+            0.99,
+        )
+    };
+    let workload = ScriptedWorkload::new(net.fibers().len());
+    chaos_soak(&mk, &workload, plan)
+}
+
+/// The acceptance-path soak: WAN topology, small flow fraction — the
+/// same scaling the run-report experiments use.
+pub fn soak_wan(plan: &ChaosPlan) -> Result<SoakReport, CheckpointError> {
+    soak_on(&topologies::twan(), 0.02, plan)
+}
+
+/// Renders one soak as a text summary: the plan, the injected events,
+/// and either a clean verdict or the violation plus its minimized
+/// repro.
+pub fn render_soak(report: &SoakReport) -> String {
+    let mut s = String::new();
+    let p = &report.plan;
+    let _ = writeln!(
+        s,
+        "Chaos soak: seed={} epochs={}/{} crash_prob={} checkpoint_every={} floor={}",
+        p.seed, report.epochs_completed, p.epochs, p.crash_prob, p.checkpoint_every,
+        p.availability_floor
+    );
+    let _ = writeln!(
+        s,
+        "  executions={} recoveries={} events_injected={}",
+        report.executions,
+        report.recoveries,
+        report.events_injected.len()
+    );
+    if !report.events_injected.is_empty() {
+        let events: Vec<String> = report
+            .events_injected
+            .iter()
+            .map(|(e, ev)| format!("{e}:{ev:?}"))
+            .collect();
+        let _ = writeln!(s, "  injected: {}", events.join(" "));
+    }
+    match (&report.violation, &report.shrunk) {
+        (Some(v), shrunk) => {
+            let _ = writeln!(
+                s,
+                "  VIOLATION [{}] at epoch {} under {:?}: {}",
+                v.invariant, v.epoch, v.event, v.detail
+            );
+            if let Some(m) = shrunk {
+                let _ = writeln!(
+                    s,
+                    "  minimal repro: seed={} epoch={} event={:?} invariant={}",
+                    m.seed, m.epoch, m.event, m.invariant
+                );
+            }
+        }
+        (None, _) => {
+            let _ = writeln!(s, "  OK: all invariants held");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b4_soak_is_clean_and_renders() {
+        let plan = ChaosPlan { crash_prob: 0.6, ..ChaosPlan::new(SEED, 4) };
+        let report = soak_on(&topologies::b4(), 0.08, &plan).expect("soak runs");
+        assert!(report.violation.is_none(), "violation: {:?}", report.violation);
+        assert_eq!(report.epochs_completed, 4);
+        assert!(report.executions >= 4);
+        let text = render_soak(&report);
+        assert!(text.contains("OK: all invariants held"), "{text}");
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod chaos;
 pub mod example3node;
 pub mod granularity;
 pub mod measurement;

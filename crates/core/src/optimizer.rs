@@ -38,7 +38,7 @@ use prete_lp::{
 };
 use prete_obs::Recorder;
 use prete_topology::{Flow, Network, TunnelId, TunnelSet};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Resolves a requested thread count (`0` = all available cores).
@@ -236,8 +236,12 @@ impl<'a> TeProblem<'a> {
 }
 
 /// A solved TE policy.
+///
+/// Serializable (and comparable) so a controller checkpoint can carry
+/// its last-known-good policy across a crash; the float fields are
+/// finite in any solution a solver returns, so `PartialEq` is exact.
 #[must_use]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TeSolution {
     /// Allocated bandwidth per tunnel (indexed by [`TunnelId`]).
     pub allocation: Vec<f64>,
@@ -1260,6 +1264,16 @@ mod tests {
         // The heuristic stays a valid upper bound.
         let h = run(&p, 0.99, SolveMethod::Heuristic);
         assert!(h.max_loss >= -1e-9);
+    }
+
+    #[test]
+    fn solution_round_trips_through_json() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let sol = run(&p, 0.99, SolveMethod::Heuristic);
+        let json = serde_json::to_string(&sol).expect("serialize solution");
+        let back: TeSolution = serde_json::from_str(&json).expect("parse solution");
+        assert_eq!(back, sol);
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod warm;
 pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Constraint, ConstraintId, LinearProgram, Sense, VarId};
 pub use simplex::{solve, solve_with, Basis, SimplexOptions, Solution, SolveStatus, WarmSimplex};
-pub use warm::BasisCache;
+pub use warm::{BasisCache, BasisCacheSnapshot};

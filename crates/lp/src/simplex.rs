@@ -124,7 +124,7 @@ pub fn solve_with(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
 /// constraint skeleton is fixed. Restoring skips simplex phase 1
 /// entirely and usually leaves only a handful of phase-2 (or dual)
 /// pivots.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Basis {
     cols: Vec<usize>,
     signature: u64,

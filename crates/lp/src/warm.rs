@@ -80,6 +80,36 @@ impl BasisCache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Captures the complete cache state (entries sorted by key so the
+    /// serialized form is canonical) for checkpointing.
+    pub fn snapshot(&self) -> BasisCacheSnapshot {
+        let mut entries: Vec<(u64, Basis)> =
+            self.map.iter().map(|(k, b)| (*k, b.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        BasisCacheSnapshot { entries, hits: self.hits, misses: self.misses }
+    }
+
+    /// Replaces this cache's state with a snapshot. Counters are
+    /// restored too: downstream solver stats fold in `hits`/`misses`,
+    /// so a restored controller must resume the exact counter stream a
+    /// crash interrupted.
+    pub fn restore(&mut self, snap: &BasisCacheSnapshot) {
+        self.map = snap.entries.iter().cloned().collect();
+        self.hits = snap.hits;
+        self.misses = snap.misses;
+    }
+}
+
+/// A serializable, canonical image of a [`BasisCache`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct BasisCacheSnapshot {
+    /// `(key, basis)` pairs sorted by key.
+    pub entries: Vec<(u64, Basis)>,
+    /// Hit counter at snapshot time.
+    pub hits: usize,
+    /// Miss counter at snapshot time.
+    pub misses: usize,
 }
 
 #[cfg(test)]
@@ -108,5 +138,35 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0);
+        let mut ws = WarmSimplex::new(SimplexOptions::default());
+        assert!(ws.solve(&lp).is_optimal());
+        let basis = ws.basis().expect("optimal basis");
+
+        let mut cache = BasisCache::new();
+        let _ = cache.get(1); // miss
+        cache.put(9, basis.clone());
+        cache.put(2, basis);
+        let _ = cache.get(9); // hit
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert!(snap.entries[0].0 < snap.entries[1].0, "entries sorted by key");
+
+        let json = serde_json::to_string(&snap).expect("serialize snapshot");
+        let back: BasisCacheSnapshot = serde_json::from_str(&json).expect("parse snapshot");
+        assert_eq!(back, snap);
+
+        let mut restored = BasisCache::new();
+        restored.restore(&back);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.hits(), 1);
+        assert_eq!(restored.misses(), 1);
+        assert!(restored.get(9).is_some(), "restored basis usable");
     }
 }

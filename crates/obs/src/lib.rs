@@ -68,6 +68,7 @@ struct RawSpan {
     end_ms: Option<f64>,
     parent: Option<usize>,
     children: Vec<usize>,
+    annotations: Vec<(String, String)>,
 }
 
 #[derive(Debug, Default)]
@@ -152,12 +153,26 @@ impl Recorder {
             end_ms: None,
             parent,
             children: Vec::new(),
+            annotations: Vec::new(),
         });
         if let Some(p) = parent {
             st.spans[p].children.push(idx);
         }
         st.stack.push(idx);
         SpanGuard { handle: Some((Arc::clone(inner), idx)) }
+    }
+
+    /// Attaches a `key = value` annotation to the innermost open span
+    /// (no-op when no span is open). Recovery paths use this to mark an
+    /// epoch span with `recovered_from = <checkpoint epoch>` so a
+    /// post-crash replay is visible in the span tree.
+    pub fn annotate(&self, key: &str, value: &str) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("recorder lock");
+            if let Some(&idx) = st.stack.last() {
+                st.spans[idx].annotations.push((key.to_string(), value.to_string()));
+            }
+        }
     }
 
     /// Adds `delta` to a monotone counter.
@@ -216,6 +231,7 @@ impl Recorder {
                 name: s.name.clone(),
                 start_ms: s.start_ms,
                 duration_ms: s.end_ms.map(|e| e - s.start_ms).unwrap_or(0.0),
+                annotations: s.annotations.clone(),
                 children: s.children.iter().map(|&c| build(st, c)).collect(),
             }
         }
@@ -313,6 +329,23 @@ mod tests {
         let r = rec.report();
         assert_eq!(r.spans.len(), 3);
         assert_eq!(r.histograms["span.epoch"].count, 3);
+    }
+
+    #[test]
+    fn annotations_attach_to_the_innermost_open_span() {
+        let rec = Recorder::deterministic();
+        rec.annotate("orphan", "ignored"); // no span open: dropped
+        {
+            let _e = rec.span("epoch");
+            rec.annotate("recovered_from", "3");
+            let _s = rec.span("solve");
+            rec.annotate("method", "benders");
+        }
+        let r = rec.report();
+        assert_eq!(r.spans[0].annotation("recovered_from"), Some("3"));
+        assert_eq!(r.spans[0].children[0].annotation("method"), Some("benders"));
+        assert_eq!(r.spans[0].annotation("orphan"), None);
+        assert_eq!(r.validate_spans(), Ok(()));
     }
 
     #[test]

@@ -184,6 +184,57 @@ mod tests {
     }
 
     #[test]
+    fn exact_bucket_edges_land_in_their_bucket() {
+        // Bounds are inclusive upper bounds: recording exactly each
+        // ladder value must fill exactly one bucket per bound, tagged
+        // with that bound.
+        let mut h = Histogram::default();
+        for b in BUCKET_BOUNDS_MS {
+            h.record(b);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, BUCKET_BOUNDS_MS.len() as u64);
+        assert_eq!(s.buckets.len(), BUCKET_BOUNDS_MS.len());
+        for ((bound, count), expect) in s.buckets.iter().zip(BUCKET_BOUNDS_MS) {
+            assert_eq!(*bound, expect);
+            assert_eq!(*count, 1);
+        }
+        // One ulp above the first bound spills into the second bucket.
+        let mut h = Histogram::default();
+        h.record(BUCKET_BOUNDS_MS[0].next_up());
+        assert_eq!(h.snapshot().buckets, vec![(BUCKET_BOUNDS_MS[1], 1)]);
+    }
+
+    #[test]
+    fn underflow_lands_in_the_first_bucket() {
+        // Everything at or below the smallest bound — including zero
+        // and (nonsensical but finite) negative durations — counts in
+        // the first bucket rather than vanishing.
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(1e-9);
+        h.record(-3.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets, vec![(BUCKET_BOUNDS_MS[0], 3)]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.p50, 1e-9, "percentile clamps to exact max");
+    }
+
+    #[test]
+    fn overflow_boundary_is_one_ulp_past_the_last_bound() {
+        let last = BUCKET_BOUNDS_MS[BUCKET_BOUNDS_MS.len() - 1];
+        let mut h = Histogram::default();
+        h.record(last);
+        h.record(last.next_up());
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0], (last, 1));
+        assert!(s.buckets[1].0.is_infinite());
+        assert_eq!(s.buckets[1].1, 1);
+    }
+
+    #[test]
     fn non_finite_observations_are_dropped() {
         let mut h = Histogram::default();
         h.record(f64::NAN);

@@ -146,7 +146,7 @@ impl LossTrace {
         if vals.is_empty() {
             return 0.0;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        vals.sort_by(f64::total_cmp);
         vals[vals.len() / 20]
     }
 

@@ -1,0 +1,690 @@
+//! Chaos soak: randomized kill/restart schedules over the durable
+//! controller, with per-epoch invariant checking and repro shrinking.
+//!
+//! A [`ChaosPlan`] extends the per-stage [`FaultPlan`] vocabulary with
+//! *process-level* events ([`ChaosEvent`]): crashing after an epoch,
+//! crashing between the write-ahead append and execution, corrupting
+//! the checkpoint blob, and losing the journal tail. [`chaos_soak`]
+//! runs a seeded schedule of those events against a
+//! [`DurableController`], checking four invariants after every epoch
+//! execution (original or recovery re-execution):
+//!
+//! 1. **availability floor** — the policy in force keeps a finite max
+//!    β-loss at or below the plan's floor;
+//! 2. **finite allocation** — no NaN/∞ ever reaches the policy's
+//!    allocation vector;
+//! 3. **monotone counters** — the warm-cache operation counters, as a
+//!    function of epochs completed, never regress or diverge across
+//!    crash/restore boundaries;
+//! 4. **bit-identity** — every epoch's
+//!    [`fingerprint`](EpochOutcome::fingerprint) matches a golden
+//!    uninterrupted run of the same plan, and every span tree is
+//!    well-formed.
+//!
+//! On violation the soak stops and [`shrink`]s the failure to a
+//! minimal reproducing `(seed, epoch, event)` triple: first it checks
+//! whether the violation fires with *no* chaos at all, then whether
+//! any *single* injected event reproduces it.
+
+use crate::checkpoint::{
+    CheckpointError, DurableConfig, DurableController, EpochOutcome, EpochWorkload, MemStore,
+};
+use crate::faults::{
+    FaultPersistence, FaultPlan, PlanError, PredictorFaultKind, PredictorFaults, SolverFaultKind,
+    SolverFaults, TelemetryFaults, TunnelFaults,
+};
+use crate::robust::RobustController;
+use prete_optical::trace::{synthesize, LossTrace, ScriptedDegradation, TraceConfig};
+use prete_topology::FiberId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A process-level chaos event, injected at one epoch of a soak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosEvent {
+    /// Kill the process after the epoch completes; restart and
+    /// recover.
+    CrashAtEpoch,
+    /// Kill the process after the write-ahead journal append but
+    /// before the epoch executes; the epoch must re-execute on
+    /// recovery.
+    CrashMidSolve,
+    /// Overwrite the checkpoint blob with garbage, then crash;
+    /// recovery must reject it and replay the journal from genesis.
+    CorruptCheckpoint,
+    /// Drop the journal's final record (a torn tail write), then
+    /// crash; recovery resumes at the surviving record and the lost
+    /// epoch re-derives identically.
+    StaleJournalTail,
+}
+
+impl ChaosEvent {
+    const ALL: [ChaosEvent; 4] = [
+        ChaosEvent::CrashAtEpoch,
+        ChaosEvent::CrashMidSolve,
+        ChaosEvent::CorruptCheckpoint,
+        ChaosEvent::StaleJournalTail,
+    ];
+}
+
+/// A seeded chaos schedule over a durable run: which process-level
+/// events fire, how often checkpoints are cut, and the invariant
+/// thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Master seed: drives the per-epoch workload seeds *and* the
+    /// event schedule.
+    pub seed: u64,
+    /// Epochs to complete.
+    pub epochs: u64,
+    /// Per-epoch probability of injecting a chaos event.
+    pub crash_prob: f64,
+    /// Checkpoint cadence handed to the durable controller (0 =
+    /// journal only).
+    pub checkpoint_every: u64,
+    /// Invariant 1: the max β-loss of the policy in force must stay at
+    /// or below this.
+    pub availability_floor: f64,
+}
+
+impl ChaosPlan {
+    /// A plan with the default soak shape: events at roughly every
+    /// third epoch, checkpoints every 5.
+    pub fn new(seed: u64, epochs: u64) -> Self {
+        Self { seed, epochs, crash_prob: 0.35, checkpoint_every: 5, availability_floor: 1.0 }
+    }
+
+    /// Validates the plan: probability in range, at least one epoch, a
+    /// finite non-negative floor.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if !(0.0..=1.0).contains(&self.crash_prob) || self.crash_prob.is_nan() {
+            return Err(PlanError::ProbabilityOutOfRange {
+                field: "chaos.crash_prob",
+                value: self.crash_prob,
+            });
+        }
+        if self.epochs == 0 {
+            return Err(PlanError::ZeroAttempts { field: "chaos.epochs" });
+        }
+        if !self.availability_floor.is_finite() || self.availability_floor < 0.0 {
+            return Err(PlanError::OutOfDomain {
+                field: "chaos.availability_floor",
+                value: self.availability_floor,
+                requirement: "finite and >= 0",
+            });
+        }
+        Ok(())
+    }
+
+    /// The deterministic event schedule: one slot per epoch. The
+    /// schedule stream is independent of the workload stream, so the
+    /// same seed replays the same epochs whether or not chaos fires.
+    pub fn schedule(&self) -> Vec<Option<ChaosEvent>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc4a0_5007);
+        (0..self.epochs)
+            .map(|_| {
+                rng.gen_bool(self.crash_prob)
+                    .then(|| ChaosEvent::ALL[rng.gen_range(0..ChaosEvent::ALL.len())])
+            })
+            .collect()
+    }
+}
+
+/// The standard soak workload: §5-shaped degradation→cut traces whose
+/// degree wobbles with the epoch, alternating between two fibers (so
+/// warm-cache hits and misses both occur), plus light seeded faults in
+/// every stage. A pure function of its arguments, as
+/// [`EpochWorkload`] requires.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptedWorkload {
+    /// Fibers in the network under test; the trace alternates between
+    /// fiber 0 and fiber `n_fibers / 2`.
+    pub n_fibers: usize,
+}
+
+impl ScriptedWorkload {
+    /// A workload alternating over `n_fibers` fibers.
+    pub fn new(n_fibers: usize) -> Self {
+        Self { n_fibers }
+    }
+}
+
+impl EpochWorkload for ScriptedWorkload {
+    fn trace(&self, epoch: u64, trace_seed: u64) -> LossTrace {
+        let deg = ScriptedDegradation {
+            start_s: 65,
+            duration_s: 45,
+            degree_db: 6.0 + 0.1 * (epoch % 5) as f64,
+            wobble_db: 0.2,
+        };
+        let fiber = if epoch.is_multiple_of(2) {
+            FiberId(0)
+        } else {
+            FiberId((self.n_fibers / 2).max(1) % self.n_fibers.max(1))
+        };
+        synthesize(fiber, 0, 160, &[deg], Some(110), TraceConfig::default(), trace_seed)
+    }
+
+    fn plan(&self, _epoch: u64, fault_seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed: fault_seed,
+            telemetry: fault_seed.is_multiple_of(3).then(TelemetryFaults::light),
+            predictor: fault_seed.is_multiple_of(7).then_some(PredictorFaults {
+                kind: PredictorFaultKind::Unavailable,
+                persistence: FaultPersistence::Transient(1),
+            }),
+            solver: fault_seed.is_multiple_of(11).then_some(SolverFaults {
+                kind: SolverFaultKind::BudgetExceeded,
+                persistence: FaultPersistence::Transient(1),
+            }),
+            tunnels: fault_seed
+                .is_multiple_of(2)
+                .then_some(TunnelFaults { fail_prob: 0.5, permanent_prob: 0.2 }),
+        }
+    }
+}
+
+/// One invariant violation: what broke, where, and under which event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Violation {
+    /// Epoch whose execution violated the invariant.
+    pub epoch: u64,
+    /// The chaos event in effect at that epoch, if any.
+    pub event: Option<ChaosEvent>,
+    /// Which invariant broke.
+    pub invariant: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// A minimal reproducing triple: replaying `seed` with exactly one
+/// `event` at `epoch` (or none) reproduces the violation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShrunkRepro {
+    /// The plan seed.
+    pub seed: u64,
+    /// The epoch the minimal event fires at (or where the eventless
+    /// violation occurs).
+    pub epoch: u64,
+    /// The single event needed, or `None` if the violation fires with
+    /// no chaos at all.
+    pub event: Option<ChaosEvent>,
+    /// The invariant the minimal repro violates.
+    pub invariant: String,
+}
+
+/// Everything one soak produced.
+#[derive(Debug, Serialize)]
+pub struct SoakReport {
+    /// The plan that ran.
+    pub plan: ChaosPlan,
+    /// Epochs completed (equals `plan.epochs` on a clean soak).
+    pub epochs_completed: u64,
+    /// Total epoch executions, counting recovery re-executions.
+    pub executions: u64,
+    /// Crash/restart cycles performed.
+    pub recoveries: u64,
+    /// Events injected, in order.
+    pub events_injected: Vec<(u64, ChaosEvent)>,
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// The minimized repro, present iff `violation` is.
+    pub shrunk: Option<ShrunkRepro>,
+}
+
+/// Per-epoch invariant checker shared by the soak and the shrinker.
+struct Invariants<'g> {
+    floor: f64,
+    golden: &'g [(String, String)],
+    /// `epochs completed → warm-cache operations`; re-visits must
+    /// match, successors must not regress.
+    counters: BTreeMap<u64, u64>,
+}
+
+impl<'g> Invariants<'g> {
+    fn new(floor: f64, golden: &'g [(String, String)]) -> Self {
+        Self { floor, golden, counters: BTreeMap::new() }
+    }
+
+    fn check(&self, out: &EpochOutcome, event: Option<ChaosEvent>) -> Option<Violation> {
+        let fail = |invariant: &str, detail: String| {
+            Some(Violation { epoch: out.record.epoch, event, invariant: invariant.into(), detail })
+        };
+        let loss = out.report.policy_max_loss;
+        if !loss.is_finite() || loss > self.floor {
+            return fail(
+                "availability-floor",
+                format!("policy_max_loss={loss} exceeds floor={}", self.floor),
+            );
+        }
+        if let Some(bad) = out.report.policy.allocation.iter().find(|a| !a.is_finite()) {
+            return fail("finite-allocation", format!("non-finite allocation entry {bad}"));
+        }
+        if let Err(e) = out.run.validate_spans() {
+            return fail("span-tree", e);
+        }
+        match out.fingerprint() {
+            Err(e) => return fail("bit-identity", format!("fingerprint failed: {e}")),
+            Ok(fp) => {
+                let want = &self.golden[out.record.epoch as usize];
+                if &fp != want {
+                    return fail(
+                        "bit-identity",
+                        format!("epoch {} diverged from the uninterrupted run", out.record.epoch),
+                    );
+                }
+            }
+        }
+        None
+    }
+
+    /// Samples the cumulative warm-cache operation count at `epoch`
+    /// epochs completed.
+    fn sample_counters(
+        &mut self,
+        epoch: u64,
+        ops: u64,
+        event: Option<ChaosEvent>,
+    ) -> Option<Violation> {
+        let fail = |invariant: &str, detail: String| {
+            Some(Violation { epoch, event, invariant: invariant.into(), detail })
+        };
+        if let Some(&prev) = self.counters.get(&epoch) {
+            if prev != ops {
+                return fail(
+                    "monotone-counters",
+                    format!("cache ops at {epoch} epochs changed across recovery: {prev} → {ops}"),
+                );
+            }
+            return None;
+        }
+        if let Some((&at, &prev)) = self.counters.range(..epoch).next_back() {
+            if ops < prev {
+                return fail(
+                    "monotone-counters",
+                    format!("cache ops regressed: {prev}@{at} → {ops}@{epoch}"),
+                );
+            }
+        }
+        self.counters.insert(epoch, ops);
+        None
+    }
+}
+
+fn cache_ops(ctl: &DurableController<'_, MemStore>) -> u64 {
+    let snap = ctl.robust.inner.cache.borrow().snapshot();
+    (snap.hits + snap.misses) as u64
+}
+
+fn uninterrupted_fingerprints<'a, F>(
+    mk: &F,
+    workload: &impl EpochWorkload,
+    plan: &ChaosPlan,
+) -> Result<Vec<(String, String)>, CheckpointError>
+where
+    F: Fn() -> RobustController<'a>,
+{
+    let cfg = DurableConfig { run_seed: plan.seed, checkpoint_every: plan.checkpoint_every };
+    let (mut ctl, _) = DurableController::recover(mk(), MemStore::default(), cfg, workload)?;
+    (0..plan.epochs).map(|_| ctl.run_epoch(workload)?.fingerprint()).collect()
+}
+
+/// Runs one soak under an explicit event schedule (one slot per
+/// epoch), checking every invariant against the golden fingerprints.
+/// Stops at the first violation.
+fn soak_with_schedule<'a, F>(
+    mk: &F,
+    workload: &impl EpochWorkload,
+    plan: &ChaosPlan,
+    schedule: &[Option<ChaosEvent>],
+    golden: &[(String, String)],
+) -> Result<SoakReport, CheckpointError>
+where
+    F: Fn() -> RobustController<'a>,
+{
+    let cfg = DurableConfig { run_seed: plan.seed, checkpoint_every: plan.checkpoint_every };
+    let (mut ctl, _) = DurableController::recover(mk(), MemStore::default(), cfg, workload)?;
+    let mut inv = Invariants::new(plan.availability_floor, golden);
+    // Each scheduled event fires once: a stale-tail crash rolls the
+    // epoch counter *back*, and re-injecting at the same epoch would
+    // loop forever.
+    let mut schedule = schedule.to_vec();
+    let mut events_injected = Vec::new();
+    let mut recoveries = 0u64;
+    let mut executions = 0u64;
+    let mut violation: Option<Violation> = None;
+
+    while violation.is_none() && ctl.epoch() < plan.epochs {
+        let epoch = ctl.epoch();
+        let event = schedule.get_mut(epoch as usize).and_then(Option::take);
+
+        // Execute (or, for a mid-solve crash, only stage) the epoch.
+        let crash = match event {
+            Some(ChaosEvent::CrashMidSolve) => {
+                ctl.stage_epoch()?;
+                true
+            }
+            _ => {
+                let out = ctl.run_epoch(workload)?;
+                executions += 1;
+                violation = inv
+                    .check(&out, event)
+                    .or_else(|| inv.sample_counters(ctl.epoch(), cache_ops(&ctl), event));
+                event.is_some()
+            }
+        };
+        if violation.is_some() || !crash {
+            continue;
+        }
+
+        // The crash: in-memory state dies, the store survives — after
+        // the event's storage damage, if any.
+        if let Some(ev) = event {
+            events_injected.push((epoch, ev));
+        }
+        let mut store = ctl.into_store();
+        match event {
+            Some(ChaosEvent::CorruptCheckpoint) => {
+                store.checkpoint = Some("{corrupted by chaos".into());
+            }
+            Some(ChaosEvent::StaleJournalTail) => {
+                store.journal.pop();
+            }
+            _ => {}
+        }
+        let (next, rec) = DurableController::recover(mk(), store, cfg, workload)?;
+        recoveries += 1;
+        for out in &rec.reexecuted {
+            executions += 1;
+            if let Some(v) = inv.check(out, event) {
+                violation = Some(v);
+                break;
+            }
+        }
+        if violation.is_none() {
+            if let Err(e) = next.lifecycle_report().validate_spans() {
+                violation = Some(Violation {
+                    epoch: rec.resumed_at,
+                    event,
+                    invariant: "span-tree".into(),
+                    detail: format!("lifecycle report: {e}"),
+                });
+            }
+        }
+        if violation.is_none() {
+            violation = inv.sample_counters(rec.resumed_at, cache_ops(&next), event);
+        }
+        ctl = next;
+    }
+
+    Ok(SoakReport {
+        plan: *plan,
+        epochs_completed: ctl.epoch(),
+        executions,
+        recoveries,
+        events_injected,
+        violation,
+        shrunk: None,
+    })
+}
+
+/// Shrinks a violation to a minimal `(seed, epoch, event)` triple:
+/// first an eventless run (is the violation chaos-independent?), then
+/// each injected event alone, in schedule order. Falls back to the
+/// original triple when no single event reproduces it.
+fn shrink<'a, F>(
+    mk: &F,
+    workload: &impl EpochWorkload,
+    plan: &ChaosPlan,
+    schedule: &[Option<ChaosEvent>],
+    golden: &[(String, String)],
+    found: &Violation,
+) -> Result<ShrunkRepro, CheckpointError>
+where
+    F: Fn() -> RobustController<'a>,
+{
+    let empty = vec![None; plan.epochs as usize];
+    let clean = soak_with_schedule(mk, workload, plan, &empty, golden)?;
+    if let Some(v) = clean.violation {
+        return Ok(ShrunkRepro { seed: plan.seed, epoch: v.epoch, event: None, invariant: v.invariant });
+    }
+    for (epoch, event) in
+        schedule.iter().enumerate().filter_map(|(e, s)| s.map(|ev| (e, ev)))
+    {
+        let mut single = vec![None; plan.epochs as usize];
+        single[epoch] = Some(event);
+        let run = soak_with_schedule(mk, workload, plan, &single, golden)?;
+        if let Some(v) = run.violation {
+            return Ok(ShrunkRepro {
+                seed: plan.seed,
+                epoch: epoch as u64,
+                event: Some(event),
+                invariant: v.invariant,
+            });
+        }
+    }
+    Ok(ShrunkRepro {
+        seed: plan.seed,
+        epoch: found.epoch,
+        event: found.event,
+        invariant: found.invariant.clone(),
+    })
+}
+
+/// Runs one full chaos soak: golden uninterrupted run, then the
+/// seeded kill/restart schedule with invariant checking, then — on
+/// violation — shrinking to a minimal repro triple.
+///
+/// `mk` must build a *fresh* (genesis) controller on every call; it is
+/// invoked once per process lifetime in the soak, once for the golden
+/// run, and repeatedly while shrinking.
+pub fn chaos_soak<'a, F>(
+    mk: &F,
+    workload: &impl EpochWorkload,
+    plan: &ChaosPlan,
+) -> Result<SoakReport, CheckpointError>
+where
+    F: Fn() -> RobustController<'a>,
+{
+    plan.validate().map_err(CheckpointError::InvalidPlan)?;
+    let schedule = plan.schedule();
+    let golden = uninterrupted_fingerprints(mk, workload, plan)?;
+    let mut report = soak_with_schedule(mk, workload, plan, &schedule, &golden)?;
+    if let Some(v) = report.violation.clone() {
+        report.shrunk = Some(shrink(mk, workload, plan, &schedule, &golden, &v)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::robust::RetryPolicy;
+    use crate::Controller;
+    use prete_core::estimator::{ProbabilityEstimator, TrueConditionals};
+    use prete_core::examples::{triangle, triangle_flows};
+    use prete_core::prelude::*;
+    use prete_nn::Predictor;
+    use prete_optical::DegradationEvent;
+
+    struct OptimistPredictor;
+    impl Predictor for OptimistPredictor {
+        fn predict_proba(&self, _e: &DegradationEvent) -> f64 {
+            0.8
+        }
+    }
+
+    macro_rules! testbed {
+        ($mk:ident) => {
+            let net = triangle();
+            let model = FailureModel::new(&net, 42);
+            let flows: Vec<Flow> = triangle_flows()
+                .into_iter()
+                .map(|f| Flow { demand_gbps: 4.0, ..f })
+                .collect();
+            let base = TunnelSet::initialize(&net, &flows, 1);
+            let truth = TrueConditionals::ground_truth(&net, &model, 50, 1);
+            let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+            let predictor = OptimistPredictor;
+            let $mk = || {
+                RobustController::new(
+                    Controller {
+                        net: &net,
+                        model: &model,
+                        flows: &flows,
+                        base_tunnels: &base,
+                        predictor: &predictor,
+                        scheme: &scheme,
+                        latency: LatencyModel::default(),
+                        cache: Default::default(),
+                        obs: Default::default(),
+                    },
+                    SolveMethod::benders(),
+                    RetryPolicy::default(),
+                    0.99,
+                )
+            };
+        };
+    }
+
+    #[test]
+    fn plans_round_trip_through_json_and_validate() {
+        let plan = ChaosPlan::new(17, 50);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ChaosPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(plan.validate(), Ok(()));
+
+        let bad = ChaosPlan { crash_prob: 1.5, ..plan };
+        assert_eq!(
+            bad.validate(),
+            Err(PlanError::ProbabilityOutOfRange { field: "chaos.crash_prob", value: 1.5 })
+        );
+        let bad = ChaosPlan { crash_prob: f64::NAN, ..plan };
+        assert!(matches!(bad.validate(), Err(PlanError::ProbabilityOutOfRange { .. })));
+        let bad = ChaosPlan { epochs: 0, ..plan };
+        assert_eq!(bad.validate(), Err(PlanError::ZeroAttempts { field: "chaos.epochs" }));
+        let bad = ChaosPlan { availability_floor: f64::INFINITY, ..plan };
+        assert!(matches!(bad.validate(), Err(PlanError::OutOfDomain { .. })));
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_sensitive() {
+        let plan = ChaosPlan::new(5, 100);
+        let a = plan.schedule();
+        assert_eq!(a, plan.schedule());
+        assert_eq!(a.len(), 100);
+        let hits = a.iter().filter(|s| s.is_some()).count();
+        // crash_prob 0.35 over 100 epochs: some but not all fire.
+        assert!(hits > 10 && hits < 70, "implausible event density {hits}/100");
+        let b = ChaosPlan::new(6, 100).schedule();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_dense_soak_completes_with_zero_violations() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        // High crash probability: most epochs inject an event, every
+        // event kind will occur across 12 epochs.
+        let plan = ChaosPlan { crash_prob: 0.8, ..ChaosPlan::new(33, 12) };
+        let report = chaos_soak(&mk, &w, &plan).unwrap();
+        assert_eq!(report.violation, None, "soak violated: {:?}", report.violation);
+        assert_eq!(report.shrunk, None);
+        assert_eq!(report.epochs_completed, 12);
+        assert!(report.recoveries > 0, "no chaos fired at crash_prob=0.8");
+        assert!(
+            report.executions >= report.epochs_completed,
+            "re-executions can only add epochs"
+        );
+        assert_eq!(report.events_injected.len(), report.recoveries as usize);
+    }
+
+    #[test]
+    fn every_event_kind_alone_keeps_the_soak_clean() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        let base = ChaosPlan { crash_prob: 0.0, ..ChaosPlan::new(44, 5) };
+        let golden = uninterrupted_fingerprints(&mk, &w, &base).unwrap();
+        for event in ChaosEvent::ALL {
+            let mut schedule = vec![None; 5];
+            schedule[2] = Some(event);
+            let report = soak_with_schedule(&mk, &w, &base, &schedule, &golden).unwrap();
+            assert_eq!(report.violation, None, "{event:?} violated");
+            assert_eq!(report.recoveries, 1);
+            assert_eq!(report.epochs_completed, 5);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_floor_shrinks_to_an_eventless_repro() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        // Bypass ChaosPlan::validate to force an unsatisfiable floor
+        // (losses are >= 0 by construction): the violation fires with
+        // no chaos at all, so the minimal repro carries no event.
+        let plan = ChaosPlan {
+            crash_prob: 0.8,
+            availability_floor: -1.0,
+            ..ChaosPlan::new(55, 4)
+        };
+        let schedule = plan.schedule();
+        let golden = uninterrupted_fingerprints(&mk, &w, &plan).unwrap();
+        let report = soak_with_schedule(&mk, &w, &plan, &schedule, &golden).unwrap();
+        let v = report.violation.clone().expect("unsatisfiable floor must violate");
+        assert_eq!(v.invariant, "availability-floor");
+        assert_eq!(v.epoch, 0);
+        let shrunk = shrink(&mk, &w, &plan, &schedule, &golden, &v).unwrap();
+        assert_eq!(
+            shrunk,
+            ShrunkRepro {
+                seed: 55,
+                epoch: 0,
+                event: None,
+                invariant: "availability-floor".into()
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_golden_flags_bit_identity_divergence() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        let plan = ChaosPlan { crash_prob: 0.0, ..ChaosPlan::new(66, 3) };
+        // Golden fingerprints from a *different* seed: every epoch
+        // diverges, which is exactly what the bit-identity invariant
+        // exists to catch.
+        let golden =
+            uninterrupted_fingerprints(&mk, &w, &ChaosPlan { seed: 67, ..plan }).unwrap();
+        let report = soak_with_schedule(&mk, &w, &plan, &plan.schedule(), &golden).unwrap();
+        let v = report.violation.expect("mismatched golden must diverge");
+        assert_eq!(v.invariant, "bit-identity");
+        assert_eq!(v.epoch, 0);
+    }
+
+    #[test]
+    fn shrink_falls_back_to_the_original_triple() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        // The system is actually crash-safe, so neither the eventless
+        // run nor any single event reproduces this synthetic
+        // violation; shrink must hand back the original triple.
+        let plan = ChaosPlan { crash_prob: 0.0, ..ChaosPlan::new(77, 3) };
+        let mut schedule = vec![None; 3];
+        schedule[1] = Some(ChaosEvent::CrashAtEpoch);
+        let golden = uninterrupted_fingerprints(&mk, &w, &plan).unwrap();
+        let found = Violation {
+            epoch: 2,
+            event: Some(ChaosEvent::CrashAtEpoch),
+            invariant: "synthetic".into(),
+            detail: String::new(),
+        };
+        let shrunk = shrink(&mk, &w, &plan, &schedule, &golden, &found).unwrap();
+        assert_eq!(shrunk.epoch, 2);
+        assert_eq!(shrunk.event, Some(ChaosEvent::CrashAtEpoch));
+        assert_eq!(shrunk.invariant, "synthetic");
+    }
+}

@@ -16,11 +16,70 @@
 use prete_optical::trace::LossTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// Why a fault or chaos plan was rejected by validation.
+///
+/// Plans arrive from config files and harness generators; a malformed
+/// probability or an empty retry budget used to trip a `debug_assert`
+/// deep in the injector (or silently misbehave in release builds).
+/// Validation turns those into typed, test-able errors at load time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum PlanError {
+    /// A probability field is outside `[0, 1]` (or NaN).
+    ProbabilityOutOfRange {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A retry budget allows zero attempts, which would mean "never
+    /// even try" — always a configuration bug.
+    ZeroAttempts {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+    /// A numeric field violates its documented domain.
+    OutOfDomain {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The documented requirement, e.g. "finite and >= 0".
+        requirement: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} = {value} is not a probability in [0, 1]")
+            }
+            PlanError::ZeroAttempts { field } => {
+                write!(f, "{field} allows zero attempts")
+            }
+            PlanError::OutOfDomain { field, value, requirement } => {
+                write!(f, "{field} = {value} violates: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// `Ok(())` iff `value` is a probability; NaN fails the range check.
+fn check_prob(field: &'static str, value: f64) -> Result<(), PlanError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(PlanError::ProbabilityOutOfRange { field, value })
+    }
+}
 
 /// Whether a fault clears after a bounded number of occurrences or
 /// persists for the whole replay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultPersistence {
     /// The fault fires for the first `n` attempts (or, for telemetry,
     /// the first `n` samples), then clears.
@@ -41,7 +100,7 @@ impl FaultPersistence {
 }
 
 /// Telemetry-stream corruption.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryFaults {
     /// Which prefix of the trace is affected: `Transient(n)` corrupts
     /// only the first `n` samples, `Permanent` the whole trace.
@@ -71,10 +130,25 @@ impl TelemetryFaults {
             swap_batch: None,
         }
     }
+
+    /// Validates the probability fields. `spike_db` is deliberately
+    /// unconstrained: `f64::INFINITY` models a sensor overflow.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        check_prob("telemetry.drop_prob", self.drop_prob)?;
+        check_prob("telemetry.spike_prob", self.spike_prob)?;
+        if self.spike_db.is_nan() {
+            return Err(PlanError::OutOfDomain {
+                field: "telemetry.spike_db",
+                value: self.spike_db,
+                requirement: "not NaN (use f64::INFINITY for overflow)",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// How an injected predictor fault manifests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PredictorFaultKind {
     /// The model returns NaN.
     NonFinite,
@@ -87,7 +161,7 @@ pub enum PredictorFaultKind {
 }
 
 /// Predictor fault script.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PredictorFaults {
     /// What the fault looks like to the caller.
     pub kind: PredictorFaultKind,
@@ -96,7 +170,7 @@ pub struct PredictorFaults {
 }
 
 /// How an injected solver fault manifests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SolverFaultKind {
     /// The solve exceeds its deterministic work budget.
     BudgetExceeded,
@@ -105,7 +179,7 @@ pub enum SolverFaultKind {
 }
 
 /// Solver fault script.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolverFaults {
     /// What the fault looks like to the caller.
     pub kind: SolverFaultKind,
@@ -115,7 +189,7 @@ pub struct SolverFaults {
 }
 
 /// Tunnel-establishment RPC fault script.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TunnelFaults {
     /// Per-tunnel probability that the first establishment RPC fails.
     pub fail_prob: f64,
@@ -126,7 +200,7 @@ pub struct TunnelFaults {
 
 /// A complete fault script for one replay. `seed` plus the script
 /// fully determines every injected fault.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Master seed; each fault class derives its own sub-stream.
     pub seed: u64,
@@ -140,11 +214,32 @@ pub struct FaultPlan {
     pub tunnels: Option<TunnelFaults>,
 }
 
+impl TunnelFaults {
+    /// Validates the probability fields.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        check_prob("tunnels.fail_prob", self.fail_prob)?;
+        check_prob("tunnels.permanent_prob", self.permanent_prob)
+    }
+}
+
 impl FaultPlan {
     /// A plan that injects nothing: the robust controller behaves
     /// exactly like the plain one.
     pub fn none(seed: u64) -> Self {
         Self { seed, telemetry: None, predictor: None, solver: None, tunnels: None }
+    }
+
+    /// Validates every scripted fault class, returning the first
+    /// violation. Harnesses call this before replaying; the injector
+    /// itself assumes a validated plan.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if let Some(t) = &self.telemetry {
+            t.validate()?;
+        }
+        if let Some(t) = &self.tunnels {
+            t.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -275,6 +370,97 @@ mod tests {
 
     fn trace() -> LossTrace {
         synthesize(FiberId(0), 0, 200, &[], None, TraceConfig::default(), 5)
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plans = [
+            FaultPlan::none(1),
+            FaultPlan {
+                seed: 99,
+                telemetry: Some(TelemetryFaults {
+                    persistence: FaultPersistence::Transient(30),
+                    drop_prob: 0.5,
+                    spike_prob: 0.2,
+                    spike_db: f64::INFINITY,
+                    swap_batch: Some(5),
+                }),
+                predictor: Some(PredictorFaults {
+                    kind: PredictorFaultKind::Unavailable,
+                    persistence: FaultPersistence::Permanent,
+                }),
+                solver: Some(SolverFaults {
+                    kind: SolverFaultKind::Infeasible,
+                    persistence: FaultPersistence::Transient(2),
+                }),
+                tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 0.25 }),
+            },
+        ];
+        for plan in plans {
+            let json = serde_json::to_string(&plan).expect("serialize plan");
+            let back: FaultPlan = serde_json::from_str(&json).expect("parse plan");
+            // spike_db = inf serializes to null and comes back NaN, so
+            // compare through the serialized form (canonical for the
+            // same reason reports are).
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+            let finite = FaultPlan {
+                telemetry: plan.telemetry.map(|t| TelemetryFaults { spike_db: 25.0, ..t }),
+                ..plan
+            };
+            let back: FaultPlan =
+                serde_json::from_str(&serde_json::to_string(&finite).unwrap()).unwrap();
+            assert_eq!(back, finite);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let bad_drop = FaultPlan {
+            telemetry: Some(TelemetryFaults { drop_prob: 1.5, ..TelemetryFaults::light() }),
+            ..FaultPlan::none(1)
+        };
+        assert_eq!(
+            bad_drop.validate(),
+            Err(PlanError::ProbabilityOutOfRange { field: "telemetry.drop_prob", value: 1.5 })
+        );
+        let nan_spike = FaultPlan {
+            telemetry: Some(TelemetryFaults {
+                spike_prob: f64::NAN,
+                ..TelemetryFaults::light()
+            }),
+            ..FaultPlan::none(1)
+        };
+        assert!(matches!(
+            nan_spike.validate(),
+            Err(PlanError::ProbabilityOutOfRange { field: "telemetry.spike_prob", .. })
+        ));
+        let bad_tunnel = FaultPlan {
+            tunnels: Some(TunnelFaults { fail_prob: 0.5, permanent_prob: -0.1 }),
+            ..FaultPlan::none(1)
+        };
+        assert_eq!(
+            bad_tunnel.validate(),
+            Err(PlanError::ProbabilityOutOfRange {
+                field: "tunnels.permanent_prob",
+                value: -0.1
+            })
+        );
+        let nan_spike_db = FaultPlan {
+            telemetry: Some(TelemetryFaults { spike_db: f64::NAN, ..TelemetryFaults::light() }),
+            ..FaultPlan::none(1)
+        };
+        assert!(matches!(nan_spike_db.validate(), Err(PlanError::OutOfDomain { .. })));
+        // Valid plans (including infinite spike_db) pass.
+        assert_eq!(FaultPlan::none(1).validate(), Ok(()));
+        let inf_spike = FaultPlan {
+            telemetry: Some(TelemetryFaults {
+                spike_db: f64::INFINITY,
+                ..TelemetryFaults::light()
+            }),
+            tunnels: Some(TunnelFaults { fail_prob: 1.0, permanent_prob: 0.0 }),
+            ..FaultPlan::none(1)
+        };
+        assert_eq!(inf_spike.validate(), Ok(()));
     }
 
     #[test]

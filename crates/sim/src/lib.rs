@@ -27,11 +27,18 @@
 //! * [`faults`] — deterministic, seeded fault injection: telemetry
 //!   corruption, predictor faults, solver faults, tunnel RPC failures;
 //! * [`robust`] — the robust controller wrapping the pipeline with
-//!   per-stage fallback chains and explicit degraded modes.
+//!   per-stage fallback chains and explicit degraded modes;
+//! * [`checkpoint`] — crash-safe controller state: versioned
+//!   checkpoints plus a write-ahead epoch journal, with bit-identical
+//!   recovery;
+//! * [`chaos`] — the chaos-soak harness: seeded kill/restart
+//!   schedules, per-epoch invariant checking, and repro shrinking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod controller;
 pub mod faults;
 pub mod latency;
@@ -39,6 +46,14 @@ pub mod production;
 pub mod robust;
 pub mod uncertainty;
 
+pub use chaos::{
+    chaos_soak, ChaosEvent, ChaosPlan, ScriptedWorkload, ShrunkRepro, SoakReport, Violation,
+};
+pub use checkpoint::{
+    CheckpointError, ControllerCheckpoint, DurableConfig, DurableController, EpochOutcome,
+    EpochRecord, EpochWorkload, FileStore, MemStore, Recovery, Store, StoreError,
+    CHECKPOINT_VERSION,
+};
 pub use controller::{Controller, ControllerEvent, ControllerReport};
 pub use faults::{
     FaultInjector, FaultPersistence, FaultPlan, PredictorFaultKind, PredictorFaults,
@@ -56,6 +71,10 @@ pub use uncertainty::{uncertainty_experiment, UncertaintyReport};
 /// controller types themselves plus the solver-facing API they are
 /// configured with (mirrors `prete_core::prelude`).
 pub mod prelude {
+    pub use crate::chaos::{chaos_soak, ChaosEvent, ChaosPlan, ScriptedWorkload, SoakReport};
+    pub use crate::checkpoint::{
+        DurableConfig, DurableController, EpochWorkload, MemStore, Store,
+    };
     pub use crate::controller::{Controller, ControllerEvent, ControllerReport};
     pub use crate::faults::FaultPlan;
     pub use crate::latency::{LatencyModel, PipelineTiming};

@@ -152,7 +152,7 @@ pub fn replay_production_case(scenario: ProductionScenario) -> ProductionOutcome
             let h = headroom(&net, &groups, &loads, &p);
             (p, h)
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("at least one candidate");
     let spare_prete = best.1.max(0.0);
     let sustained_prete = (affected.demand_gbps - spare_prete).max(0.0);

@@ -137,6 +137,40 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Validates the policy: at least one attempt, jitter a valid
+    /// fraction, delays finite and non-negative, multiplier ≥ 1.
+    pub fn validate(&self) -> Result<(), crate::faults::PlanError> {
+        use crate::faults::PlanError;
+        if self.max_attempts == 0 {
+            return Err(PlanError::ZeroAttempts { field: "retry.max_attempts" });
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(PlanError::ProbabilityOutOfRange {
+                field: "retry.jitter",
+                value: self.jitter,
+            });
+        }
+        for (field, value) in
+            [("retry.base_delay_ms", self.base_delay_ms), ("retry.max_delay_ms", self.max_delay_ms)]
+        {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PlanError::OutOfDomain {
+                    field,
+                    value,
+                    requirement: "finite and >= 0",
+                });
+            }
+        }
+        if !self.multiplier.is_finite() || self.multiplier < 1.0 {
+            return Err(PlanError::OutOfDomain {
+                field: "retry.multiplier",
+                value: self.multiplier,
+                requirement: "finite and >= 1",
+            });
+        }
+        Ok(())
+    }
+
     /// The backoff schedule for one fault site: `max_attempts - 1`
     /// waits in milliseconds. Deterministic per seed; monotone
     /// non-decreasing; each interval ≤ `max_delay_ms`.
@@ -186,6 +220,10 @@ pub struct RobustReport {
     /// the replay (zeroed when no recompute ran). Equality ignores the
     /// wall-clock fields, so report comparisons stay bit-reproducible.
     pub solver: SolverStats,
+    /// The full policy in force at the end of the replay (the solution
+    /// whose max β-loss is `policy_max_loss`). Chaos invariants check
+    /// its allocation vector for non-finite entries.
+    pub policy: TeSolution,
 }
 
 impl RobustReport {
@@ -308,6 +346,10 @@ pub struct RobustController<'a> {
     /// construction; the terminal fallback when no fresh policy can be
     /// computed.
     last_known_good: TeSolution,
+    /// Static per-fiber cut priors (Eqn 1's off-signal term): the
+    /// probability assumed for a degraded fiber when no model is
+    /// usable. Part of the durable controller state.
+    priors: Vec<f64>,
 }
 
 impl<'a> RobustController<'a> {
@@ -315,13 +357,13 @@ impl<'a> RobustController<'a> {
     /// (heuristic solve over the base tunnels under static priors —
     /// infallible by construction).
     pub fn new(inner: Controller<'a>, method: SolveMethod, retry: RetryPolicy, beta: f64) -> Self {
-        let probs: Vec<f64> = inner
+        let priors: Vec<f64> = inner
             .model
             .profiles()
             .iter()
             .map(|p| (1.0 - prete_optical::ALPHA_PREDICTABLE) * p.p_cut)
             .collect();
-        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+        let scenarios = ScenarioSet::enumerate(&priors, 1, 0.0);
         let problem = TeProblem::new(inner.net, inner.flows, inner.base_tunnels, &scenarios);
         // Deliberately cold (no warm cache): the standing policy must
         // not depend on whatever was solved before construction.
@@ -330,12 +372,29 @@ impl<'a> RobustController<'a> {
             .method(SolveMethod::Heuristic)
             .solve()
             .expect("heuristic solve under the default budget is infallible");
-        Self { inner, method, retry, beta, last_known_good }
+        Self { inner, method, retry, beta, last_known_good, priors }
     }
 
     /// The standing policy used when every solve fallback fails.
     pub fn last_known_good(&self) -> &TeSolution {
         &self.last_known_good
+    }
+
+    /// Replaces the standing policy — checkpoint restore installs the
+    /// policy that was in force when the checkpoint was taken.
+    pub fn set_last_known_good(&mut self, sol: TeSolution) {
+        self.last_known_good = sol;
+    }
+
+    /// The static per-fiber cut priors in force.
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
+    /// Replaces the static priors — checkpoint restore installs the
+    /// prior vector captured at checkpoint time.
+    pub fn set_priors(&mut self, priors: Vec<f64>) {
+        self.priors = priors;
     }
 
     /// Replays a telemetry trace under a fault plan.
@@ -372,6 +431,7 @@ impl<'a> RobustController<'a> {
         let mut events = Vec::new();
         let mut pipeline = None;
         let mut prepared_before_cut = None;
+        let mut policy = self.last_known_good.clone();
         let mut policy_max_loss = self.last_known_good.max_loss;
         let mut requested_tunnels = 0;
         let mut committed_tunnels = 0;
@@ -440,8 +500,9 @@ impl<'a> RobustController<'a> {
                                 FallbackRecord {
                                     stage: FaultStage::Prediction,
                                     fault: last_err
-                                        .expect("retried ⇒ at least one error")
-                                        .to_string(),
+                                        .as_ref()
+                                        .map(|e| e.to_string())
+                                        .unwrap_or_else(|| "unknown fault".into()),
                                     outcome: FallbackOutcome::RecoveredAfterRetry {
                                         attempts,
                                         backoff_ms: retry_backoff_ms,
@@ -455,14 +516,16 @@ impl<'a> RobustController<'a> {
                         // Static prior for the degraded fiber (Eqn 1's
                         // off-signal term): the probability PreTE would
                         // assume with no model at all.
-                        let prior = (1.0 - prete_optical::ALPHA_PREDICTABLE)
-                            * self.inner.model.profiles()[fiber.index()].p_cut;
+                        let prior = self.priors[fiber.index()];
                         note_fallback(
                             &obs,
                             &mut fallbacks,
                             FallbackRecord {
                                 stage: FaultStage::Prediction,
-                                fault: last_err.expect("exhausted ⇒ errors").to_string(),
+                                fault: last_err
+                                    .as_ref()
+                                    .map(|e| e.to_string())
+                                    .unwrap_or_else(|| "unknown fault".into()),
                                 outcome: FallbackOutcome::DegradedTo(
                                     DegradedMode::PriorProbability,
                                 ),
@@ -521,8 +584,8 @@ impl<'a> RobustController<'a> {
                 solver_stats.merge(&stats);
                 Ok(sol)
             };
-            let (sol_loss, used_last_known_good) = match attempt(self.method) {
-                Ok(sol) => (sol.max_loss, false),
+            let (sol, used_last_known_good) = match attempt(self.method) {
+                Ok(sol) => (sol, false),
                 Err(primary_err) => match attempt(SolveMethod::Heuristic) {
                     Ok(sol) => {
                         note_fallback(
@@ -536,7 +599,7 @@ impl<'a> RobustController<'a> {
                                 ),
                             },
                         );
-                        (sol.max_loss, false)
+                        (sol, false)
                     }
                     Err(heuristic_err) => {
                         note_fallback(
@@ -552,11 +615,12 @@ impl<'a> RobustController<'a> {
                                 ),
                             },
                         );
-                        (self.last_known_good.max_loss, true)
+                        (self.last_known_good.clone(), true)
                     }
                 },
             };
-            policy_max_loss = sol_loss;
+            policy_max_loss = sol.max_loss;
+            policy = sol;
 
             // ---- Stage 4: tunnel establishment with per-tunnel retry
             // and partial commit. A stale policy has no new tunnels to
@@ -682,6 +746,7 @@ impl<'a> RobustController<'a> {
             requested_tunnels,
             committed_tunnels,
             solver: solver_stats,
+            policy,
         }
     }
 }
@@ -994,6 +1059,94 @@ mod tests {
         let clean = sanitize_trace(&t);
         assert!(clean.samples.iter().all(|s| s.is_finite()));
         assert!(clean.samples[30] < t.samples[30] - 30.0, "spike survived");
+    }
+
+    #[test]
+    fn sanitize_survives_an_all_cut_trace() {
+        // Every sample missing/non-finite (a cut from sample zero, or a
+        // dead sensor): sanitize must not panic and must return a fully
+        // finite trace — interpolation has no anchor points and falls
+        // back to a flat baseline.
+        let mut t = synthesize(FiberId(0), 0, 50, &[], None, TraceConfig::default(), 3);
+        for (i, s) in t.samples.iter_mut().enumerate() {
+            *s = if i % 2 == 0 { f64::NAN } else { f64::INFINITY };
+        }
+        let clean = sanitize_trace(&t);
+        assert_eq!(clean.samples.len(), 50);
+        assert!(clean.samples.iter().all(|s| s.is_finite()), "{:?}", clean.samples);
+    }
+
+    #[test]
+    fn sanitize_survives_a_single_sample_trace() {
+        let mut t = synthesize(FiberId(0), 0, 1, &[], None, TraceConfig::default(), 3);
+        assert_eq!(t.samples.len(), 1);
+        // Finite sample passes through untouched (no neighbours to
+        // despike against).
+        let v = t.samples[0];
+        let clean = sanitize_trace(&t);
+        assert_eq!(clean.samples, vec![v]);
+        // A lone non-finite sample interpolates to the empty-trace
+        // fallback instead of panicking.
+        t.samples[0] = f64::NEG_INFINITY;
+        let clean = sanitize_trace(&t);
+        assert_eq!(clean.samples.len(), 1);
+        assert!(clean.samples[0].is_finite());
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_across_seeds() {
+        // Same seed ⇒ same schedule, for many seeds; different seeds
+        // jitter differently (with jitter > 0 the schedules cannot all
+        // collide).
+        let policy = RetryPolicy::default();
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            let a = policy.schedule(seed);
+            let b = policy.schedule(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            distinct.insert(a.iter().map(|d| d.to_bits()).collect::<Vec<_>>());
+        }
+        assert!(distinct.len() > 32, "jitter barely varies: {} distinct", distinct.len());
+        // Zero jitter collapses every seed to one schedule.
+        let flat = RetryPolicy { jitter: 0.0, ..policy };
+        assert_eq!(flat.schedule(1), flat.schedule(2));
+    }
+
+    #[test]
+    fn retry_policy_validation_rejects_bad_budgets() {
+        use crate::faults::PlanError;
+        assert_eq!(RetryPolicy::default().validate(), Ok(()));
+        let zero = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        assert_eq!(zero.validate(), Err(PlanError::ZeroAttempts { field: "retry.max_attempts" }));
+        let bad_jitter = RetryPolicy { jitter: 1.5, ..RetryPolicy::default() };
+        assert!(matches!(
+            bad_jitter.validate(),
+            Err(PlanError::ProbabilityOutOfRange { field: "retry.jitter", .. })
+        ));
+        let neg_delay = RetryPolicy { base_delay_ms: -1.0, ..RetryPolicy::default() };
+        assert!(matches!(neg_delay.validate(), Err(PlanError::OutOfDomain { .. })));
+        let shrink = RetryPolicy { multiplier: 0.5, ..RetryPolicy::default() };
+        assert!(matches!(shrink.validate(), Err(PlanError::OutOfDomain { .. })));
+    }
+
+    #[test]
+    fn report_carries_the_policy_in_force() {
+        // Clean replay: the report's policy is the fresh solution.
+        let clean = replay(&FaultPlan::none(11));
+        assert_eq!(clean.policy.max_loss, clean.policy_max_loss);
+        assert!(clean.policy.allocation.iter().all(|a| a.is_finite()));
+        // Permanent solver faults: the report's policy IS the
+        // last-known-good (loss matches, and the policy is over the
+        // base tunnels).
+        let stale = replay(&FaultPlan {
+            solver: Some(SolverFaults {
+                kind: SolverFaultKind::Infeasible,
+                persistence: FaultPersistence::Permanent,
+            }),
+            ..FaultPlan::none(12)
+        });
+        assert_eq!(stale.worst_mode(), Some(DegradedMode::LastKnownGoodPolicy));
+        assert_eq!(stale.policy.max_loss, stale.policy_max_loss);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //!
 //! The registry is unreachable in this build environment, so the
 //! workspace vendors a minimal data model: [`Serialize`] maps a value
-//! to a [`Value`] tree and `serde_json` renders that tree. The derive
-//! macros ([`serde_derive`]) cover plain structs and enums — exactly
-//! what this repo derives. `Deserialize` is a marker trait (nothing in
-//! the workspace deserializes); its derive emits an empty impl so
-//! existing `#[derive(Serialize, Deserialize)]` lines keep compiling.
+//! to a [`Value`] tree, [`Deserialize`] maps a [`Value`] tree back to
+//! a value, and `serde_json` renders/parses the tree as JSON text. The
+//! derive macros ([`serde_derive`]) cover plain structs and enums —
+//! exactly what this repo derives. Deserialization mirrors the
+//! serialization encoding field for field, so every
+//! `#[derive(Serialize, Deserialize)]` type round-trips through JSON
+//! (the checkpoint/restore path in `prete-sim` depends on this).
 
 #![forbid(unsafe_code)]
 
@@ -35,18 +37,87 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a key in a [`Value::Map`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short variant name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
 /// Serialization to the [`Value`] data model.
 pub trait Serialize {
     /// Renders `self` as a [`Value`] tree.
     fn to_value(&self) -> Value;
 }
 
-/// Marker for deserializable types (no-op in the offline stand-in).
-pub trait Deserialize: Sized {}
+/// Why a [`Value`] tree could not be decoded into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A type-mismatch error: expected `want`, found the value's kind.
+    pub fn expected(want: &str, found: &Value) -> Self {
+        DeError(format!("expected {want}, found {}", found.kind()))
+    }
+
+    /// A missing-field error.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// Prefixes the error with a location (field or variant name), so
+    /// nested failures read like a path.
+    pub fn at(self, location: &str) -> Self {
+        DeError(format!("{location}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserialization from the [`Value`] data model. The encoding is the
+/// exact inverse of [`Serialize`] (including `Null` for non-finite
+/// floats and missing `Option`s).
+pub trait Deserialize: Sized {
+    /// Decodes a value of `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
     }
 }
 
@@ -55,6 +126,17 @@ macro_rules! impl_ser_signed {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
             }
         }
     )*};
@@ -72,6 +154,17 @@ macro_rules! impl_ser_unsigned {
                 }
             }
         }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
     )*};
 }
 impl_ser_unsigned!(u8, u16, u32, u64, usize);
@@ -84,6 +177,20 @@ macro_rules! impl_ser_float {
                 if v.is_finite() { Value::Float(v) } else { Value::Null }
             }
         }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // Non-finite floats serialize to null; a lone null
+                    // decodes back as NaN (the only non-finite value a
+                    // round trip can restore).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
     )*};
 }
 impl_ser_float!(f32, f64);
@@ -91,6 +198,15 @@ impl_ser_float!(f32, f64);
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
     }
 }
 
@@ -106,9 +222,27 @@ impl Serialize for char {
     }
 }
 
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
     }
 }
 
@@ -127,9 +261,43 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, it)| T::from_value(it).map_err(|e| e.at(&format!("[{i}]"))))
+                .collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }
 
@@ -151,11 +319,33 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 macro_rules! impl_ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$n])
+                            .map_err(|e| e.at(&format!("[{}]", $n)))?,)+))
+                    }
+                    Value::Seq(items) => Err(DeError(format!(
+                        "expected {LEN}-tuple, found array of {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("array", other)),
+                }
             }
         }
     )*};
@@ -181,6 +371,29 @@ fn key_string<K: Serialize>(k: &K) -> String {
     }
 }
 
+/// Key recovery for map deserialization: the inverse of [`key_string`]
+/// for the key types the workspace uses (strings and integers).
+trait MapKey: Sized {
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError(format!("bad integer map key `{s}`")))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         let mut entries: Vec<(String, Value)> =
@@ -190,9 +403,37 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     }
 }
 
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    Ok((K::from_key(k)?, V::from_value(val).map_err(|e| e.at(k))?))
+                })
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Map(self.iter().map(|(k, v)| (key_string(k), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    Ok((K::from_key(k)?, V::from_value(val).map_err(|e| e.at(k))?))
+                })
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
     }
 }
 
@@ -212,5 +453,42 @@ mod tests {
             vec![1u8, 2].to_value(),
             Value::Seq(vec![Value::Int(1), Value::Int(2)])
         );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::from_value(&3u8.to_value()), Ok(3));
+        assert_eq!(i64::from_value(&(-4i64).to_value()), Ok(-4));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(String::from_value(&"x".to_value()), Ok("x".into()));
+        assert_eq!(Option::<u8>::from_value(&None::<u8>.to_value()), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Some(9u8).to_value()), Ok(Some(9)));
+        assert_eq!(Vec::<u8>::from_value(&vec![1u8, 2].to_value()), Ok(vec![1, 2]));
+        assert_eq!(
+            <(u32, f64)>::from_value(&(7u32, 0.5f64).to_value()),
+            Ok((7, 0.5))
+        );
+    }
+
+    #[test]
+    fn maps_round_trip_with_integer_keys() {
+        let mut m: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        m.insert(3, vec![1, 2]);
+        m.insert(u64::MAX, vec![]);
+        assert_eq!(BTreeMap::<u64, Vec<usize>>::from_value(&m.to_value()), Ok(m));
+        let mut h: HashMap<String, f64> = HashMap::new();
+        h.insert("a".into(), 1.0);
+        assert_eq!(HashMap::<String, f64>::from_value(&h.to_value()), Ok(h));
+    }
+
+    #[test]
+    fn type_mismatch_errors_name_both_sides() {
+        let e = u8::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.0.contains("expected integer"));
+        let e = Vec::<u8>::from_value(&Value::Seq(vec![Value::Bool(true)])).unwrap_err();
+        assert!(e.0.contains("[0]"), "{e}");
+        let e = u8::from_value(&Value::Int(-1)).unwrap_err();
+        assert!(e.0.contains("out of range"));
     }
 }

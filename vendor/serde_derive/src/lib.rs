@@ -5,8 +5,10 @@
 //! walker extracts the type's shape (named/tuple/unit struct, enum
 //! with unit/tuple/struct variants, optional plain generics) and the
 //! impl is emitted as source text and re-parsed. `Serialize` renders
-//! to the vendored `serde::Value` tree; `Deserialize` is a marker
-//! impl so existing derive lines compile.
+//! to the vendored `serde::Value` tree; `Deserialize` decodes the
+//! exact same encoding back (named struct ↔ map, tuple struct ↔ seq,
+//! one-field tuple ↔ transparent, unit ↔ null, enum unit variant ↔
+//! string, data variant ↔ single-entry map).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -359,11 +361,126 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("generated Serialize impl parses")
 }
 
+/// `field: from_value(map.get("field") or Null)` — missing keys decode
+/// as `Null` so `Option` fields tolerate omission and everything else
+/// reports a type mismatch.
+fn named_field_decode(field: &str, source: &str) -> String {
+    format!(
+        "{field}: serde::Deserialize::from_value({source}.get(\"{field}\")\
+             .unwrap_or(&serde::Value::Null))\
+             .map_err(|e| e.at(\"{field}\"))?"
+    )
+}
+
+/// Positional decodes for a `Seq`-encoded tuple body bound to `items`.
+fn seq_field_decodes(n: usize, label: &str) -> String {
+    (0..n)
+        .map(|k| {
+            format!(
+                "serde::Deserialize::from_value(&items[{k}])\
+                     .map_err(|e| e.at(\"{label}[{k}]\"))?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let (gen_decl, gen_use) = generics_strings(&parsed, "serde::Deserialize");
     let name = &parsed.name;
-    let out = format!("impl{gen_decl} serde::Deserialize for {name}{gen_use} {{}}");
+    let body = match &parsed.shape {
+        Shape::Unit => format!(
+            "match v {{ serde::Value::Null => Ok({name}), \
+                 other => Err(serde::DeError::expected(\"null\", other)) }}"
+        ),
+        Shape::Named(fields) => {
+            let decodes: Vec<String> =
+                fields.iter().map(|f| named_field_decode(f, "v")).collect();
+            format!(
+                "match v {{ \
+                     serde::Value::Map(_) => Ok({name} {{ {} }}), \
+                     other => Err(serde::DeError::expected(\"object\", other)) \
+                 }}",
+                decodes.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => format!(
+            "match v {{ \
+                 serde::Value::Seq(items) if items.len() == {n} => Ok({name}({})), \
+                 other => Err(serde::DeError::expected(\"{n}-element array\", other)) \
+             }}",
+            seq_field_decodes(*n, "")
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|var| matches!(var.shape, VariantShape::Unit))
+                .map(|var| format!("\"{0}\" => Ok({name}::{0}),", var.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|var| {
+                    let vn = &var.name;
+                    match &var.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                                 serde::Deserialize::from_value(inner)\
+                                 .map_err(|e| e.at(\"{vn}\"))?)),"
+                        )),
+                        VariantShape::Tuple(n) => Some(format!(
+                            "\"{vn}\" => match inner {{ \
+                                 serde::Value::Seq(items) if items.len() == {n} => \
+                                     Ok({name}::{vn}({})), \
+                                 other => Err(serde::DeError::expected(\
+                                     \"{n}-element array\", other).at(\"{vn}\")) \
+                             }},",
+                            seq_field_decodes(*n, vn)
+                        )),
+                        VariantShape::Named(fields) => {
+                            let decodes: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_decode(f, "inner"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                decodes.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                     serde::Value::Str(s) => match s.as_str() {{ \
+                         {} \
+                         other => Err(serde::DeError(\
+                             format!(\"unknown variant `{{other}}` of {name}\"))) \
+                     }}, \
+                     serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                         let (variant, inner) = &entries[0]; \
+                         match variant.as_str() {{ \
+                             {} \
+                             other => Err(serde::DeError(\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))) \
+                         }} \
+                     }}, \
+                     other => Err(serde::DeError::expected(\"enum value\", other)) \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let out = format!(
+        "impl{gen_decl} serde::Deserialize for {name}{gen_use} {{\n\
+             fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    );
     out.parse().expect("generated Deserialize impl parses")
 }

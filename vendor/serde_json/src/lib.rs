@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: serializes the vendored
-//! [`serde::Value`] data model to JSON text. Only the serialization
-//! half is implemented — nothing in this workspace deserializes.
+//! [`serde::Value`] data model to JSON text and parses JSON text back
+//! into [`serde::Value`] trees (the checkpoint/journal restore path in
+//! `prete-sim` reads its state back through [`from_str`]).
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +34,200 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Renders a value as its [`Value`] tree (API parity with serde_json).
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Decodes a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T> {
+    T::from_value(v).map_err(|e| Error(e.0))
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    from_value(&parse(s)?)
+}
+
+/// Parses JSON text into a [`Value`] tree. Rejects trailing garbage.
+pub fn parse(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<()> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {pos}", want as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+        Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(Error(format!("unexpected `{}` at byte {pos}", *c as char))),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    } else if let Ok(i) = text.parse::<i64>() {
+        Ok(Value::Int(i))
+    } else if let Ok(u) = text.parse::<u64>() {
+        Ok(Value::UInt(u))
+    } else {
+        Err(Error(format!("invalid number `{text}`")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error("bad escape in string".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance by whole chars to keep multi-byte UTF-8 intact.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                let c = rest.chars().next().expect("non-empty by match");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value> {
+    expect_byte(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Seq(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value> {
+    expect_byte(b, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Map(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect_byte(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        entries.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+        }
+    }
 }
 
 fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
@@ -140,5 +335,37 @@ mod tests {
             s
         };
         assert!(pretty.contains("\n  \"a\": [\n    1,\n    2.5\n  ]"));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::Int(-1), Value::Float(2.5)])),
+            ("b".into(), Value::Str("x\"y\n\u{1}ü".into())),
+            ("c".into(), Value::Null),
+            ("d".into(), Value::Bool(true)),
+            ("e".into(), Value::UInt(u64::MAX)),
+            ("f".into(), Value::Float(3.0)),
+        ]);
+        assert_eq!(parse(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(parse(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"unterminated", "nul"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn typed_from_str_decodes() {
+        let v: Vec<f64> = from_str("[1.0, null, 2]").unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 2.0);
+        let m: std::collections::BTreeMap<String, u64> =
+            from_str("{\"x\": 3}").unwrap();
+        assert_eq!(m["x"], 3);
     }
 }
