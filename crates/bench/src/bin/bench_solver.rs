@@ -1,19 +1,24 @@
 //! `bench_solver` — serial vs parallel vs warm-started TE solver
-//! timings on the WAN topology.
+//! timings, per LP backend, on a WAN topology.
 //!
 //! ```text
 //! Usage: bench_solver [--epochs N] [--out FILE] [--min-speedup X]
+//!                     [--backend dense|sparse|both] [--topology twan|b4|ibm]
 //! ```
 //!
 //! With `--min-speedup X` the process exits non-zero when the
-//! serial-vs-warm speedup falls below `X` — CI's regression gate.
+//! serial-vs-warm speedup falls below `X`; with `--backend both` it
+//! also exits non-zero when the sparse engine is slower than the dense
+//! one on the `serial-cold` configuration — CI's regression gates.
 //!
 //! Writes the full [`prete_bench::runtime::SolverBench`] record
 //! (per-configuration timings plus merged `SolverStats`) to
 //! `BENCH_solver.json` by default; CI uploads that file as an
 //! artifact.
 
-use prete_bench::runtime::bench_solver;
+use prete_bench::runtime::bench_solver_backends;
+use prete_core::prelude::SolverBackend;
+use prete_topology::topologies;
 use std::io::Write;
 
 fn main() {
@@ -28,16 +33,32 @@ fn main() {
         .map(|v| v.parse().expect("--epochs takes an integer"))
         .unwrap_or(6);
     let out = flag("--out").unwrap_or_else(|| "BENCH_solver.json".into());
+    let backends: Vec<SolverBackend> = match flag("--backend").as_deref() {
+        None | Some("sparse") => vec![SolverBackend::SparseRevised],
+        Some("dense") => vec![SolverBackend::DenseTableau],
+        Some("both") => vec![SolverBackend::DenseTableau, SolverBackend::SparseRevised],
+        Some(other) => panic!("--backend takes dense|sparse|both, got {other}"),
+    };
+    let net = match flag("--topology").as_deref() {
+        None | Some("twan") => topologies::twan(),
+        Some("b4") => topologies::b4(),
+        Some("ibm") => topologies::ibm(),
+        Some(other) => panic!("--topology takes twan|b4|ibm, got {other}"),
+    };
 
-    let bench = bench_solver(epochs);
+    let bench = bench_solver_backends(&net, epochs, &backends);
     println!("Solver benchmark: {} epochs on {}", bench.epochs, bench.topology);
     println!(
-        "  {:<16} {:>7} {:>5} {:>10} {:>10} {:>9} {:>9} {:>7}",
-        "config", "threads", "warm", "total ms", "epoch ms", "lp", "pivots", "hits"
+        "  {:<8} {:<16} {:>7} {:>5} {:>10} {:>10} {:>9} {:>9} {:>7}",
+        "backend", "config", "threads", "warm", "total ms", "epoch ms", "lp", "pivots", "hits"
     );
     for r in &bench.rows {
         println!(
-            "  {:<16} {:>7} {:>5} {:>10.1} {:>10.1} {:>9} {:>9} {:>7}",
+            "  {:<8} {:<16} {:>7} {:>5} {:>10.1} {:>10.1} {:>9} {:>9} {:>7}",
+            match r.backend {
+                SolverBackend::DenseTableau => "dense",
+                SolverBackend::SparseRevised => "sparse",
+            },
             r.config,
             r.threads,
             r.warm,
@@ -49,6 +70,9 @@ fn main() {
         );
     }
     println!("  speedup (serial-cold / warm-parallel-8): {:.2}x", bench.parallel_speedup);
+    if let Some(s) = bench.sparse_speedup {
+        println!("  speedup (dense / sparse, serial-cold):   {s:.2}x");
+    }
 
     let json = serde_json::to_string_pretty(&bench).expect("serialize");
     let mut f = std::fs::File::create(&out).expect("create output file");
@@ -59,6 +83,12 @@ fn main() {
         let min: f64 = min.parse().expect("--min-speedup takes a number");
         if bench.parallel_speedup < min {
             eprintln!("speedup {:.2}x below required {min}x", bench.parallel_speedup);
+            std::process::exit(1);
+        }
+    }
+    if let Some(s) = bench.sparse_speedup {
+        if s < 1.0 {
+            eprintln!("sparse engine slower than dense: {s:.2}x");
             std::process::exit(1);
         }
     }

@@ -52,6 +52,7 @@ pub fn soak_on(net: &Network, flow_frac: f64, plan: &ChaosPlan) -> Result<SoakRe
                 predictor: &predictor,
                 scheme: &scheme,
                 latency: LatencyModel::default(),
+                backend: Default::default(),
                 cache: Default::default(),
                 obs: Default::default(),
             },

@@ -124,6 +124,8 @@ pub fn fig16b(ratios: &[f64]) -> Vec<RuntimeRow> {
 /// workload.
 #[derive(Debug, Clone, Serialize)]
 pub struct SolverBenchRow {
+    /// LP engine the row was measured with.
+    pub backend: SolverBackend,
     /// Configuration label (`serial-cold`, `parallel-8`, ...).
     pub config: String,
     /// Worker threads the solver and precompute were configured with.
@@ -151,11 +153,15 @@ pub struct SolverBench {
     pub topology: String,
     /// Number of controller epochs simulated per configuration.
     pub epochs: usize,
-    /// One row per configuration.
+    /// One row per (backend, configuration) pair.
     pub rows: Vec<SolverBenchRow>,
     /// `serial-cold` total over `warm-parallel-8` total: the end-to-end
-    /// speedup of the parallel, warm-started solver.
+    /// speedup of the parallel, warm-started solver (sparse rows when
+    /// present, else the first benchmarked backend).
     pub parallel_speedup: f64,
+    /// Dense `serial-cold` total over sparse `serial-cold` total — the
+    /// revised-engine speedup. `None` unless both backends ran.
+    pub sparse_speedup: Option<f64>,
 }
 
 /// Deterministic per-(epoch, flow) demand jitter in `[0.98, 1.02]` —
@@ -183,8 +189,21 @@ pub fn bench_solver(epochs: usize) -> SolverBench {
 
 /// [`bench_solver`] on an arbitrary topology — the unit tests use B4 so
 /// the debug-mode workload stays in seconds; the WAN run is
-/// release-only.
+/// release-only. Measures the default (sparse) backend only; use
+/// [`bench_solver_backends`] for the dense-vs-sparse comparison.
 pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBench {
+    bench_solver_backends(net, epochs, &[SolverBackend::SparseRevised])
+}
+
+/// [`bench_solver`] over an explicit backend list: each backend runs
+/// the full configuration grid, and when both engines are present the
+/// dense-vs-sparse `serial-cold` ratio lands in
+/// [`SolverBench::sparse_speedup`] (CI's engine-regression gate).
+pub fn bench_solver_backends(
+    net: &prete_topology::Network,
+    epochs: usize,
+    backends: &[SolverBackend],
+) -> SolverBench {
     let model = FailureModel::new(net, SEED);
     let base_flows = topologies::flows_for(net, 0.08, SEED);
     let tunnels = TunnelSet::initialize(net, &base_flows, 4);
@@ -193,7 +212,7 @@ pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBe
     // LP at WAN scale while the smoke benchmark stays in CI budget.
     let scenarios = ScenarioSet::enumerate(&probs, 1, 1e-4);
 
-    let run = |config: &str, threads: usize, warm: bool| -> SolverBenchRow {
+    let run = |backend: SolverBackend, config: &str, threads: usize, warm: bool| -> SolverBenchRow {
         let mut cache = BasisCache::new();
         let mut stats = SolverStats::default();
         let mut max_loss = 0.0f64;
@@ -208,7 +227,8 @@ pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBe
             let mut solver = TeSolver::new(&problem)
                 .beta(0.999)
                 .method(SolveMethod::Heuristic)
-                .threads(threads);
+                .threads(threads)
+                .backend(backend);
             if warm {
                 solver = solver.warm_cache(&mut cache);
             }
@@ -218,6 +238,7 @@ pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBe
         }
         let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
         SolverBenchRow {
+            backend,
             config: config.into(),
             threads,
             warm,
@@ -228,13 +249,33 @@ pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBe
         }
     };
 
-    let rows = vec![
-        run("serial-cold", 1, false),
-        run("parallel-8", 8, false),
-        run("warm-parallel-8", 8, true),
-    ];
-    let parallel_speedup = rows[0].total_ms / rows[2].total_ms.max(1e-9);
-    SolverBench { topology: net.name.clone(), epochs, rows, parallel_speedup }
+    let mut rows = Vec::with_capacity(3 * backends.len());
+    for &backend in backends {
+        rows.push(run(backend, "serial-cold", 1, false));
+        rows.push(run(backend, "parallel-8", 8, false));
+        rows.push(run(backend, "warm-parallel-8", 8, true));
+    }
+    let find = |backend: SolverBackend, config: &str| {
+        rows.iter().find(|r| r.backend == backend && r.config == config)
+    };
+    let speedup_backend = if backends.contains(&SolverBackend::SparseRevised) {
+        SolverBackend::SparseRevised
+    } else {
+        backends[0]
+    };
+    let parallel_speedup = {
+        let cold = find(speedup_backend, "serial-cold").expect("serial row");
+        let warm = find(speedup_backend, "warm-parallel-8").expect("warm row");
+        cold.total_ms / warm.total_ms.max(1e-9)
+    };
+    let sparse_speedup = match (
+        find(SolverBackend::DenseTableau, "serial-cold"),
+        find(SolverBackend::SparseRevised, "serial-cold"),
+    ) {
+        (Some(dense), Some(sparse)) => Some(dense.total_ms / sparse.total_ms.max(1e-9)),
+        _ => None,
+    };
+    SolverBench { topology: net.name.clone(), epochs, rows, parallel_speedup, sparse_speedup }
 }
 
 #[cfg(test)]
@@ -279,6 +320,36 @@ mod tests {
             );
         }
         assert!(b.parallel_speedup > 0.0);
+        // Single-backend run: no dense-vs-sparse ratio to report.
+        assert!(b.sparse_speedup.is_none());
+    }
+
+    #[test]
+    fn backend_comparison_rows_agree_on_the_optimum() {
+        let b = bench_solver_backends(
+            &topologies::b4(),
+            2,
+            &[SolverBackend::DenseTableau, SolverBackend::SparseRevised],
+        );
+        assert_eq!(b.rows.len(), 6);
+        let dense = b.rows.iter().filter(|r| r.backend == SolverBackend::DenseTableau);
+        let sparse: Vec<_> =
+            b.rows.iter().filter(|r| r.backend == SolverBackend::SparseRevised).collect();
+        assert_eq!(sparse.len(), 3);
+        // Both engines land on the same objective in every configuration.
+        for (d, s) in dense.zip(&sparse) {
+            assert_eq!(d.config, s.config);
+            assert!(
+                (d.max_loss - s.max_loss).abs() < 1e-6,
+                "{}: dense {} vs sparse {}",
+                d.config,
+                d.max_loss,
+                s.max_loss
+            );
+        }
+        // The sparse engine actually ran sparse (no silent fallback).
+        assert!(sparse.iter().all(|r| r.stats.dense_fallbacks == 0));
+        assert!(b.sparse_speedup.is_some());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::capacity::CapacityGroups;
 use crate::scenario::ScenarioSet;
 use prete_lp::{
     solve_mip, BasisCache, ConstraintId, LinearProgram, MipOptions, MipStatus, Sense,
-    SimplexOptions, SolveStatus, VarId, WarmSimplex,
+    SimplexOptions, SolveStatus, SolverBackend, VarId, WarmSimplex,
 };
 use prete_obs::Recorder;
 use prete_topology::{Flow, Network, TunnelId, TunnelSet};
@@ -310,6 +310,17 @@ pub struct SolverStats {
     pub warm_misses: usize,
     /// Rhs-only dual-simplex re-solves inside the Benders loop.
     pub rhs_resolves: usize,
+    /// Basis LU (re)factorizations in the sparse engine (0 under the
+    /// dense backend).
+    pub refactorizations: u64,
+    /// Product-form eta updates appended in the sparse engine.
+    pub etas: u64,
+    /// Cumulative LU fill-in (factor nonzeros beyond basis nonzeros)
+    /// in the sparse engine.
+    pub fill_in: u64,
+    /// Sparse solves that hit a singular factorization and were
+    /// answered by the dense fallback engine.
+    pub dense_fallbacks: usize,
     /// Worker threads the solve was configured with.
     pub threads: usize,
 }
@@ -330,6 +341,10 @@ impl SolverStats {
         self.warm_hits += other.warm_hits;
         self.warm_misses += other.warm_misses;
         self.rhs_resolves += other.rhs_resolves;
+        self.refactorizations += other.refactorizations;
+        self.etas += other.etas;
+        self.fill_in += other.fill_in;
+        self.dense_fallbacks += other.dense_fallbacks;
         self.threads = self.threads.max(other.threads);
     }
 
@@ -362,6 +377,10 @@ impl SolverStats {
         rec.add("solver.warm_hits", self.warm_hits as u64);
         rec.add("solver.warm_misses", self.warm_misses as u64);
         rec.add("solver.rhs_resolves", self.rhs_resolves as u64);
+        rec.add("solver.refactorizations", self.refactorizations);
+        rec.add("solver.etas", self.etas);
+        rec.add("solver.fill_in", self.fill_in);
+        rec.add("solver.dense_fallbacks", self.dense_fallbacks as u64);
         rec.gauge("solver.threads", self.threads as f64);
         if !rec.is_deterministic() {
             rec.observe("solver.total_ms", self.total_ms);
@@ -385,6 +404,10 @@ impl PartialEq for SolverStats {
             && self.warm_hits == other.warm_hits
             && self.warm_misses == other.warm_misses
             && self.rhs_resolves == other.rhs_resolves
+            && self.refactorizations == other.refactorizations
+            && self.etas == other.etas
+            && self.fill_in == other.fill_in
+            && self.dense_fallbacks == other.dense_fallbacks
     }
 }
 
@@ -416,6 +439,7 @@ pub struct TeSolver<'p, 'a, 'c> {
     method: SolveMethod,
     budget: SolveBudget,
     threads: usize,
+    backend: SolverBackend,
     cache: Option<&'c mut BasisCache>,
     recorder: Recorder,
 }
@@ -431,6 +455,7 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
             method: SolveMethod::Heuristic,
             budget: SolveBudget::default(),
             threads: 0,
+            backend: SolverBackend::default(),
             cache: None,
             recorder: Recorder::disabled(),
         }
@@ -478,6 +503,17 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         self
     }
 
+    /// LP engine for every solve under this solver (subproblems,
+    /// polish, master relaxations). Defaults to
+    /// [`SolverBackend::SparseRevised`]; the dense tableau remains
+    /// available as an oracle and is the automatic fallback when a
+    /// sparse factorization goes singular (counted in
+    /// [`SolverStats::dense_fallbacks`]).
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Warm-starts LP solves from `cache` (keyed by
     /// [`TeProblem::structure_key`]) and saves the optimal bases back,
     /// so successive epochs skip simplex phase 1.
@@ -506,9 +542,11 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         let recorder = self.recorder;
         let span = recorder.span("solve");
         let threads = effective_threads(self.threads);
+        recorder.event_with("solver-backend", || format!("{:?}", self.backend));
         let mut ctx = SolveCtx {
             problem: self.problem,
             threads,
+            backend: self.backend,
             cache: self.cache,
             stats: SolverStats { threads, ..SolverStats::default() },
             obs: recorder.clone(),
@@ -675,6 +713,7 @@ fn ms_since(t0: Instant) -> f64 {
 struct SolveCtx<'p, 'a, 'c> {
     problem: &'p TeProblem<'a>,
     threads: usize,
+    backend: SolverBackend,
     cache: Option<&'c mut BasisCache>,
     stats: SolverStats,
     obs: Recorder,
@@ -682,7 +721,23 @@ struct SolveCtx<'p, 'a, 'c> {
 
 impl SolveCtx<'_, '_, '_> {
     fn simplex_opts(&self) -> SimplexOptions {
-        SimplexOptions { threads: self.threads, ..SimplexOptions::default() }
+        SimplexOptions {
+            threads: self.threads,
+            backend: self.backend,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Folds a solve's engine counters (sparse refactorizations, etas,
+    /// fill-in, dense fallbacks) into the stats.
+    fn absorb_engine(&mut self, sol: &prete_lp::Solution) {
+        self.stats.refactorizations += sol.engine.refactorizations;
+        self.stats.etas += sol.engine.etas;
+        self.stats.fill_in += sol.engine.fill_in;
+        if sol.engine.dense_fallback {
+            self.stats.dense_fallbacks += 1;
+            self.obs.event("dense-fallback", "singular sparse factorization");
+        }
     }
 
     /// Solves `lp`, seeding from the basis cached under `key` when a
@@ -691,6 +746,7 @@ impl SolveCtx<'_, '_, '_> {
         let mut ws = WarmSimplex::new(self.simplex_opts());
         let warm = self.cache.as_mut().and_then(|c| c.get(key)).cloned();
         let (sol, used) = ws.solve_from(lp, warm.as_ref());
+        self.absorb_engine(&sol);
         if self.cache.is_some() {
             if used {
                 self.stats.warm_hits += 1;
@@ -1055,6 +1111,14 @@ impl SolveCtx<'_, '_, '_> {
             delta = new_delta;
         }
         self.stats.pivots += ws.pivots();
+        let engine = ws.engine_stats();
+        self.stats.refactorizations += engine.refactorizations;
+        self.stats.etas += engine.etas;
+        self.stats.fill_in += engine.fill_in;
+        if engine.dense_fallback {
+            self.stats.dense_fallbacks += 1;
+            self.obs.event("dense-fallback", "singular sparse factorization in benders loop");
+        }
         self.stats.benders_iters = iters;
         if let Some(basis) = ws.basis() {
             if let Some(c) = self.cache.as_mut() {
@@ -1530,6 +1594,10 @@ mod tests {
             warm_hits: 2,
             warm_misses: 1,
             rhs_resolves: 5,
+            refactorizations: 11,
+            etas: 57,
+            fill_in: 204,
+            dense_fallbacks: 1,
             threads: 8,
         };
         let json = serde_json::to_string(&stats).unwrap();
@@ -1546,6 +1614,10 @@ mod tests {
             r#""warm_hits":2"#,
             r#""warm_misses":1"#,
             r#""rhs_resolves":5"#,
+            r#""refactorizations":11"#,
+            r#""etas":57"#,
+            r#""fill_in":204"#,
+            r#""dense_fallbacks":1"#,
             r#""threads":8"#,
         ] {
             assert!(json.contains(field), "{field} missing from {json}");

@@ -1,0 +1,593 @@
+//! Sparse basis factorization for the revised simplex engine.
+//!
+//! A simplex basis `B` (one column per row, drawn from the transformed
+//! constraint matrix) is factorized as a pivot-ordered sparse LU:
+//!
+//! 1. **Triangular peel** — row and column singletons are eliminated
+//!    iteratively. TE bases are near-triangular (slack/artificial
+//!    columns are unit vectors and tunnel-path columns touch few rows),
+//!    so the peel usually consumes the whole matrix and generates *no
+//!    fill and no numeric updates*: a column-singleton pivot has
+//!    nothing to eliminate, and a row-singleton pivot only zeroes
+//!    entries of the pivot column itself.
+//! 2. **Dense bump** — whatever small residual block survives the peel
+//!    is gathered densely and factorized with partial pivoting.
+//!
+//! Both phases are recorded uniformly as a sequence of pivots, each
+//! carrying its elimination multipliers (the `L` part, applied during
+//! the forward pass) and its row at elimination time (the `U` part,
+//! consumed by back-substitution). [`LuFactors::ftran`] solves
+//! `B x = b`, [`LuFactors::btran`] solves `Bᵀ y = c`.
+//!
+//! Between refactorizations the basis evolves by product-form **eta
+//! updates** ([`EtaFile`]): replacing basis slot `s` with entering
+//! column `q` appends the eta `(s, w)` where `w = B⁻¹ a_q`, and
+//! subsequent FTRAN/BTRAN apply the eta file after/before the LU
+//! solves. The eta file is truncated by periodic refactorization
+//! (every [`REFACTOR_INTERVAL`] pivots), which bounds both the solve
+//! cost and the accumulated round-off.
+
+/// Refactorize after this many eta updates. Chosen so eta application
+/// stays cheap relative to one LU solve while refactorizations stay
+/// rare relative to pivots.
+pub const REFACTOR_INTERVAL: usize = 64;
+
+/// Pivot magnitude below which a factorization is declared singular.
+const SINGULAR_TOL: f64 = 1e-11;
+
+/// The basis matrix could not be factorized (structurally or
+/// numerically singular). Callers fall back to the dense backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorError;
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular basis factorization")
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// One recorded elimination step.
+#[derive(Debug, Clone)]
+struct Pivot {
+    /// Original row index of the pivot.
+    row: usize,
+    /// Basis slot (column of `B`) eliminated by this pivot.
+    slot: usize,
+    /// Diagonal value at elimination time.
+    diag: f64,
+    /// Elimination multipliers `(target_row, multiplier)`: during the
+    /// forward pass, `b[target_row] -= multiplier * b[row]`.
+    lcol: Vec<(usize, f64)>,
+    /// Off-diagonal entries of the pivot row at elimination time,
+    /// `(basis_slot, value)` — slots pivoted later in the order.
+    urow: Vec<(usize, f64)>,
+}
+
+/// A pivot-ordered sparse LU factorization of a basis matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    pivots: Vec<Pivot>,
+    /// Nonzeros stored across `lcol`/`urow`/diagonals.
+    nnz: usize,
+}
+
+impl LuFactors {
+    /// Factorizes the `m × m` basis whose column for slot `s` is the
+    /// sparse vector `cols[s]` (`(row, value)` pairs, rows unique).
+    pub fn factorize(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Self, FactorError> {
+        assert_eq!(cols.len(), m);
+        if m == 0 {
+            return Ok(Self { m, pivots: Vec::new(), nnz: 0 });
+        }
+        // Working copies with per-entry alive flags. Entries are
+        // addressed as (slot, pos) pairs so rows and columns can share
+        // them.
+        let mut col_entries: Vec<Vec<(usize, f64, bool)>> = cols
+            .iter()
+            .map(|c| c.iter().map(|&(r, v)| (r, v, v != 0.0)).collect())
+            .collect();
+        let mut rows: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m]; // (slot, pos)
+        for (s, col) in col_entries.iter().enumerate() {
+            for (p, &(r, _, alive)) in col.iter().enumerate() {
+                if alive {
+                    rows[r].push((s, p));
+                }
+            }
+        }
+        let mut row_count: Vec<usize> = rows.iter().map(Vec::len).collect();
+        let mut col_count: Vec<usize> =
+            col_entries.iter().map(|c| c.iter().filter(|e| e.2).count()).collect();
+        let mut row_done = vec![false; m];
+        let mut col_done = vec![false; m];
+        let mut pivots: Vec<Pivot> = Vec::with_capacity(m);
+        let mut nnz = 0usize;
+
+        // Deterministic singleton queues (lowest index first).
+        let mut stack: Vec<usize> = Vec::new(); // encoded: 2*c for cols, 2*r+1 for rows
+        for (c, &count) in col_count.iter().enumerate() {
+            if count == 1 {
+                stack.push(2 * c);
+            }
+        }
+        for (r, &count) in row_count.iter().enumerate() {
+            if count == 1 {
+                stack.push(2 * r + 1);
+            }
+        }
+        stack.sort_unstable();
+        stack.reverse();
+
+        let alive_entry = |col_entries: &[Vec<(usize, f64, bool)>], s: usize| {
+            col_entries[s].iter().find(|e| e.2).map(|&(r, v, _)| (r, v))
+        };
+
+        while pivots.len() < m {
+            let Some(code) = stack.pop() else {
+                // No singletons left: factorize the residual bump densely.
+                Self::bump(m, &col_entries, &row_done, &col_done, &mut pivots, &mut nnz)?;
+                break;
+            };
+            if code % 2 == 0 {
+                // Column singleton: pivot (r, s) with nothing to
+                // eliminate; the pivot row's other live entries become
+                // U entries resolved by later pivots.
+                let s = code / 2;
+                if col_done[s] || col_count[s] != 1 {
+                    continue;
+                }
+                let Some((r, v)) = alive_entry(&col_entries, s) else {
+                    return Err(FactorError);
+                };
+                if v.abs() < SINGULAR_TOL {
+                    return Err(FactorError);
+                }
+                let mut urow = Vec::new();
+                for &(s2, p2) in &rows[r] {
+                    if s2 == s || col_done[s2] {
+                        continue;
+                    }
+                    let e = &mut col_entries[s2][p2];
+                    if e.2 {
+                        urow.push((s2, e.1));
+                        e.2 = false;
+                        col_count[s2] -= 1;
+                        if col_count[s2] == 1 && !col_done[s2] {
+                            stack.push(2 * s2);
+                        }
+                    }
+                }
+                nnz += 1 + urow.len();
+                pivots.push(Pivot { row: r, slot: s, diag: v, lcol: Vec::new(), urow });
+                row_done[r] = true;
+                col_done[s] = true;
+                row_count[r] = 0;
+                col_count[s] = 0;
+            } else {
+                // Row singleton: pivot (r, s); eliminate the other live
+                // entries of column s (multipliers only — the pivot row
+                // has a single entry so no other column changes).
+                let r = code / 2;
+                if row_done[r] || row_count[r] != 1 {
+                    continue;
+                }
+                let Some(&(s, p)) = rows[r]
+                    .iter()
+                    .find(|&&(s2, p2)| !col_done[s2] && col_entries[s2][p2].2)
+                else {
+                    return Err(FactorError);
+                };
+                let v = col_entries[s][p].1;
+                if v.abs() < SINGULAR_TOL {
+                    return Err(FactorError);
+                }
+                let mut lcol = Vec::new();
+                for e in col_entries[s].iter_mut() {
+                    if e.2 && e.0 != r {
+                        lcol.push((e.0, e.1 / v));
+                        e.2 = false;
+                        row_count[e.0] -= 1;
+                        if row_count[e.0] == 1 && !row_done[e.0] {
+                            stack.push(2 * e.0 + 1);
+                        }
+                    }
+                }
+                nnz += 1 + lcol.len();
+                pivots.push(Pivot { row: r, slot: s, diag: v, lcol, urow: Vec::new() });
+                row_done[r] = true;
+                col_done[s] = true;
+                row_count[r] = 0;
+                col_count[s] = 0;
+            }
+            // Re-sort pending singletons for determinism (cheap: the
+            // stack only holds a handful of candidates at a time).
+            stack.sort_unstable();
+            stack.dedup();
+            stack.reverse();
+        }
+        if pivots.len() != m {
+            return Err(FactorError);
+        }
+        Ok(Self { m, pivots, nnz })
+    }
+
+    /// Dense partial-pivoting LU on the residual block the peel could
+    /// not reduce, recorded in the same pivot format.
+    fn bump(
+        m: usize,
+        col_entries: &[Vec<(usize, f64, bool)>],
+        row_done: &[bool],
+        col_done: &[bool],
+        pivots: &mut Vec<Pivot>,
+        nnz: &mut usize,
+    ) -> Result<(), FactorError> {
+        let brows: Vec<usize> = (0..m).filter(|&r| !row_done[r]).collect();
+        let bcols: Vec<usize> = (0..m).filter(|&c| !col_done[c]).collect();
+        let k = brows.len();
+        if k != bcols.len() {
+            return Err(FactorError);
+        }
+        let mut rpos = vec![usize::MAX; m];
+        for (i, &r) in brows.iter().enumerate() {
+            rpos[r] = i;
+        }
+        // Gather dense k×k block (row-major).
+        let mut a = vec![0.0f64; k * k];
+        for (j, &s) in bcols.iter().enumerate() {
+            for e in &col_entries[s] {
+                if e.2 {
+                    a[rpos[e.0] * k + j] = e.1;
+                }
+            }
+        }
+        // rperm[i] = original bump-row position occupying dense row i.
+        let mut rperm: Vec<usize> = (0..k).collect();
+        for step in 0..k {
+            // Partial pivoting: largest magnitude in column `step`.
+            let mut best = step;
+            let mut best_v = a[rperm[step] * k + step].abs();
+            for (i, &rp) in rperm.iter().enumerate().skip(step + 1) {
+                let v = a[rp * k + step].abs();
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            if best_v < SINGULAR_TOL {
+                return Err(FactorError);
+            }
+            rperm.swap(step, best);
+            let prow = rperm[step];
+            let diag = a[prow * k + step];
+            let mut lcol = Vec::new();
+            for &rp in rperm.iter().skip(step + 1) {
+                let f = a[rp * k + step] / diag;
+                if f != 0.0 {
+                    lcol.push((brows[rp], f));
+                    for j in step..k {
+                        a[rp * k + j] -= f * a[prow * k + j];
+                    }
+                    a[rp * k + step] = 0.0;
+                }
+            }
+            let urow: Vec<(usize, f64)> = (step + 1..k)
+                .filter(|&j| a[prow * k + j] != 0.0)
+                .map(|j| (bcols[j], a[prow * k + j]))
+                .collect();
+            *nnz += 1 + lcol.len() + urow.len();
+            pivots.push(Pivot {
+                row: brows[prow],
+                slot: bcols[step],
+                diag,
+                lcol,
+                urow,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fill-in beyond the basis nonzero count (0 when the peel consumed
+    /// everything).
+    pub fn fill_in(&self, basis_nnz: usize) -> usize {
+        self.nnz.saturating_sub(basis_nnz)
+    }
+
+    /// Solves `B x = b`. `b` is indexed by row; the result is indexed
+    /// by basis slot.
+    pub fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(b.len(), self.m);
+        let mut w = b.to_vec();
+        for p in &self.pivots {
+            let wr = w[p.row];
+            if wr != 0.0 {
+                for &(i, f) in &p.lcol {
+                    w[i] -= f * wr;
+                }
+            }
+        }
+        let mut x = vec![0.0f64; self.m];
+        for p in self.pivots.iter().rev() {
+            let mut s = w[p.row];
+            for &(slot, v) in &p.urow {
+                s -= v * x[slot];
+            }
+            x[p.slot] = s / p.diag;
+        }
+        x
+    }
+
+    /// Solves `Bᵀ y = c`. `c` is indexed by basis slot; the result is
+    /// indexed by row.
+    pub fn btran(&self, c: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(c.len(), self.m);
+        // Solve Vᵀ z = c in pivot order (V holds the U rows), then
+        // apply the transposed elimination ops in reverse.
+        let mut acc = vec![0.0f64; self.m]; // indexed by pivot position
+        let mut slot_pos = vec![usize::MAX; self.m];
+        for (k, p) in self.pivots.iter().enumerate() {
+            slot_pos[p.slot] = k;
+        }
+        let mut y = vec![0.0f64; self.m]; // indexed by row
+        for (k, p) in self.pivots.iter().enumerate() {
+            let z = (c[p.slot] - acc[k]) / p.diag;
+            y[p.row] = z;
+            if z != 0.0 {
+                for &(slot, v) in &p.urow {
+                    acc[slot_pos[slot]] += v * z;
+                }
+            }
+        }
+        for p in self.pivots.iter().rev() {
+            let mut s = y[p.row];
+            for &(i, f) in &p.lcol {
+                s -= f * y[i];
+            }
+            y[p.row] = s;
+        }
+        y
+    }
+}
+
+/// One product-form update: basis slot `slot` was replaced by a column
+/// whose FTRAN image (through the basis *before* the update) is the
+/// sparse vector `col` with diagonal `diag = col[slot]`.
+#[derive(Debug, Clone)]
+struct Eta {
+    slot: usize,
+    diag: f64,
+    /// Off-diagonal nonzeros `(slot, value)` of the FTRAN image.
+    off: Vec<(usize, f64)>,
+}
+
+/// The eta file: product-form updates appended since the last
+/// refactorization.
+#[derive(Debug, Clone, Default)]
+pub struct EtaFile {
+    etas: Vec<Eta>,
+}
+
+impl EtaFile {
+    /// Empties the file (after a refactorization).
+    pub fn clear(&mut self) {
+        self.etas.clear();
+    }
+
+    /// Number of etas on file.
+    pub fn len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Whether the file is empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.etas.is_empty()
+    }
+
+    /// Appends the update for slot `slot` with FTRAN image `w` (dense,
+    /// indexed by slot). Returns `false` (refactorize instead) when the
+    /// diagonal is too small to divide by safely.
+    pub fn push(&mut self, slot: usize, w: &[f64]) -> bool {
+        let diag = w[slot];
+        if diag.abs() < 1e-9 {
+            return false;
+        }
+        let off: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != slot && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { slot, diag, off });
+        true
+    }
+
+    /// Applies `E_t⁻¹ … E_1⁻¹` in place (the tail of an FTRAN).
+    pub fn apply_ftran(&self, w: &mut [f64]) {
+        for e in &self.etas {
+            let ws = w[e.slot] / e.diag;
+            w[e.slot] = ws;
+            if ws != 0.0 {
+                for &(i, v) in &e.off {
+                    w[i] -= v * ws;
+                }
+            }
+        }
+    }
+
+    /// Applies `E_1⁻ᵀ … E_t⁻ᵀ` in place (the head of a BTRAN).
+    pub fn apply_btran(&self, c: &mut [f64]) {
+        for e in self.etas.iter().rev() {
+            let mut s = c[e.slot];
+            for &(i, v) in &e.off {
+                s -= v * c[i];
+            }
+            c[e.slot] = s / e.diag;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_to_cols(m: usize, a: &[f64]) -> Vec<Vec<(usize, f64)>> {
+        (0..m)
+            .map(|s| {
+                (0..m)
+                    .filter(|&r| a[r * m + s] != 0.0)
+                    .map(|r| (r, a[r * m + s]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn mat_vec(m: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..m).map(|r| (0..m).map(|s| a[r * m + s] * x[s]).sum()).collect()
+    }
+
+    fn mat_t_vec(m: usize, a: &[f64], y: &[f64]) -> Vec<f64> {
+        (0..m).map(|s| (0..m).map(|r| a[r * m + s] * y[r]).sum()).collect()
+    }
+
+    #[test]
+    fn identity_factorizes() {
+        let m = 4;
+        let a: Vec<f64> =
+            (0..m * m).map(|i| if i % (m + 1) == 0 { 1.0 } else { 0.0 }).collect();
+        let f = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let b = vec![3.0, -1.0, 0.5, 2.0];
+        assert_eq!(f.ftran(&b), b);
+        assert_eq!(f.btran(&b), b);
+        assert_eq!(f.fill_in(m), 0);
+    }
+
+    #[test]
+    fn triangular_peels_completely() {
+        // Lower-triangular: every step exposes a row singleton.
+        let m = 3;
+        let a = vec![2.0, 0.0, 0.0, 1.0, 3.0, 0.0, -1.0, 4.0, 5.0];
+        let f = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = mat_vec(m, &a, &x_true);
+        let x = f.ftran(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn dense_bump_round_trips() {
+        // A fully dense matrix: the peel finds nothing, everything goes
+        // through the bump.
+        let m = 5;
+        let mut a = vec![0.0f64; m * m];
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for v in a.iter_mut() {
+            *v = next() * 4.0;
+        }
+        // Diagonal dominance to stay well-conditioned.
+        for i in 0..m {
+            a[i * m + i] += 10.0;
+        }
+        let f = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let x_true: Vec<f64> = (0..m).map(|i| i as f64 - 1.5).collect();
+        let b = mat_vec(m, &a, &x_true);
+        for (xi, ti) in f.ftran(&b).iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+        let y_true: Vec<f64> = (0..m).map(|i| 0.3 * i as f64 - 0.7).collect();
+        let c = mat_t_vec(m, &a, &y_true);
+        for (yi, ti) in f.btran(&c).iter().zip(&y_true) {
+            assert!((yi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_peel_and_bump() {
+        // Block: identity columns mixed with a dense 3x3 core.
+        let m = 6;
+        let mut a = vec![0.0f64; m * m];
+        for i in 0..3 {
+            a[i * m + i] = 1.0;
+            a[i * m + 4] = 0.5 * (i as f64 + 1.0); // couples into peel rows
+        }
+        let dense = [
+            [4.0, 1.0, -1.0],
+            [2.0, 5.0, 1.0],
+            [-1.0, 1.0, 6.0],
+        ];
+        for (bi, row) in dense.iter().enumerate() {
+            for (bj, &v) in row.iter().enumerate() {
+                a[(3 + bi) * m + (3 + bj)] = v;
+            }
+        }
+        let f = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let x_true = vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0];
+        let b = mat_vec(m, &a, &x_true);
+        for (xi, ti) in f.ftran(&b).iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{:?}", f.ftran(&b));
+        }
+        let y_true = vec![0.1, -0.2, 0.3, 1.0, -1.0, 0.5];
+        let c = mat_t_vec(m, &a, &y_true);
+        for (yi, ti) in f.btran(&c).iter().zip(&y_true) {
+            assert!((yi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let m = 2;
+        let a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
+        assert!(LuFactors::factorize(m, &dense_to_cols(m, &a)).is_err());
+        let zero_col = vec![1.0, 0.0, 0.0, 0.0];
+        assert!(LuFactors::factorize(m, &dense_to_cols(m, &zero_col)).is_err());
+    }
+
+    #[test]
+    fn eta_updates_track_column_replacement() {
+        // B = I, replace slot 1 with column a = [1, 2, 1]^T: w = B^-1 a = a.
+        let m = 3;
+        let a: Vec<f64> =
+            (0..m * m).map(|i| if i % (m + 1) == 0 { 1.0 } else { 0.0 }).collect();
+        let f = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let newcol = vec![1.0, 2.0, 1.0];
+        let mut etas = EtaFile::default();
+        let w = f.ftran(&newcol);
+        assert!(etas.push(1, &w));
+        // New basis: columns e0, newcol, e2.
+        let mut bnew = a.clone();
+        for r in 0..m {
+            bnew[r * m + 1] = newcol[r];
+        }
+        let x_true = vec![0.5, -1.0, 2.0];
+        let b = mat_vec(m, &bnew, &x_true);
+        let mut x = f.ftran(&b);
+        etas.apply_ftran(&mut x);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+        let y_true = vec![1.0, 0.5, -0.5];
+        let mut c = mat_t_vec(m, &bnew, &y_true);
+        etas.apply_btran(&mut c);
+        let y = f.btran(&c);
+        for (yi, ti) in y.iter().zip(&y_true) {
+            assert!((yi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiny_eta_diagonal_demands_refactorization() {
+        let mut etas = EtaFile::default();
+        let w = vec![0.0, 1e-12, 0.0];
+        assert!(!etas.push(1, &w));
+        assert!(etas.is_empty());
+    }
+}

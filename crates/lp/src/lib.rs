@@ -7,9 +7,13 @@
 //!
 //! * [`model::LinearProgram`] — a small modelling API (variables with
 //!   bounds, sparse linear constraints, minimization objective);
-//! * [`simplex`] — a two-phase dense-tableau primal simplex with dual
-//!   extraction (the duals drive the Benders optimality cuts of
-//!   Appendix A.4/A.5);
+//! * [`simplex`] — the solver front end with two engines behind one
+//!   API ([`simplex::SolverBackend`]): a two-phase dense-tableau
+//!   primal simplex with dual extraction (the duals drive the Benders
+//!   optimality cuts of Appendix A.4/A.5), kept as the trusted oracle
+//!   and automatic fallback, and the default sparse revised simplex
+//!   (presolve + CSC columns + LU-factorized basis with product-form
+//!   eta updates) for the large, extremely sparse TE programs;
 //! * [`mip`] — branch-and-bound over binary/integer variables on top of
 //!   the simplex relaxation, used for the Benders master problem and as
 //!   an exact (small-instance) reference solver for the full MIP
@@ -20,19 +24,27 @@
 //!   solves across controller epochs.
 //!
 //! Problem sizes in this workspace are a few hundred to a few thousand
-//! rows/columns; the dense tableau is deliberate — simple, robust, easy
-//! to verify — per the project's smoltcp-inspired "simplicity and
-//! robustness over cleverness" rule.
+//! rows/columns. The dense tableau stays deliberately simple — easy to
+//! verify — per the project's smoltcp-inspired "simplicity and
+//! robustness over cleverness" rule; the sparse engine is held to the
+//! dense oracle by a differential test suite
+//! (`tests/solver_differential.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod factor;
 pub mod mip;
 pub mod model;
+mod presolve;
 pub mod simplex;
+mod sparse;
 pub mod warm;
 
 pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Constraint, ConstraintId, LinearProgram, Sense, VarId};
-pub use simplex::{solve, solve_with, Basis, SimplexOptions, Solution, SolveStatus, WarmSimplex};
+pub use simplex::{
+    solve, solve_with, Basis, EngineStats, SimplexOptions, Solution, SolveStatus, SolverBackend,
+    WarmSimplex,
+};
 pub use warm::{BasisCache, BasisCacheSnapshot};

@@ -31,6 +31,25 @@
 
 use crate::model::{LinearProgram, Sense};
 
+/// Which simplex engine executes a solve.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum SolverBackend {
+    /// The original dense-tableau two-phase primal simplex. Kept as the
+    /// trusted oracle and as the automatic fallback when the sparse
+    /// engine hits a singular basis factorization.
+    DenseTableau,
+    /// Sparse revised simplex: presolve, CSC columns, LU-factorized
+    /// basis with product-form eta updates and periodic
+    /// refactorization, partial pricing with a Bland's-rule
+    /// anti-cycling fallback. The default — TE programs are extremely
+    /// sparse and the revised iteration costs `O(nnz)` instead of the
+    /// dense `O(m·n)` tableau elimination.
+    #[default]
+    SparseRevised,
+}
+
 /// Solver tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
@@ -40,20 +59,32 @@ pub struct SimplexOptions {
     pub eps: f64,
     /// Iterations without improvement before switching to Bland's rule.
     pub stall_threshold: usize,
-    /// Worker threads for the row-elimination kernel (1 = serial).
+    /// Worker threads for the parallel kernels (1 = serial).
     ///
-    /// Rows are eliminated independently against a snapshot of the
-    /// normalized pivot row, so every thread count — including 1 —
-    /// performs the exact same per-row arithmetic and the results are
-    /// bit-identical. Parallelism only kicks in above
-    /// [`PARALLEL_PIVOT_CELLS`] tableau cells; entering/leaving
-    /// selection always runs on the coordinating thread.
+    /// Dense backend: rows are eliminated independently against a
+    /// snapshot of the normalized pivot row. Sparse backend: pricing
+    /// computes per-column reduced costs into disjoint slices. In both
+    /// cases every thread count — including 1 — performs the exact same
+    /// per-cell arithmetic, so results are bit-identical. Parallelism
+    /// only kicks in above a work threshold ([`PARALLEL_PIVOT_CELLS`]
+    /// tableau cells / a pricing-segment width for the sparse engine);
+    /// entering/leaving selection always runs on the coordinating
+    /// thread.
     pub threads: usize,
+    /// Engine selection (default [`SolverBackend::SparseRevised`] with
+    /// automatic dense fallback on factorization failure).
+    pub backend: SolverBackend,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        Self { max_iterations: 200_000, eps: 1e-9, stall_threshold: 1_000, threads: 1 }
+        Self {
+            max_iterations: 200_000,
+            eps: 1e-9,
+            stall_threshold: 1_000,
+            threads: 1,
+            backend: SolverBackend::default(),
+        }
     }
 }
 
@@ -75,6 +106,22 @@ pub enum SolveStatus {
     IterationLimit,
 }
 
+/// Per-solve engine counters beyond the pivot count. All zeros for the
+/// dense backend (it has no factorization machinery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Basis LU (re)factorizations, including the initial one.
+    pub refactorizations: u64,
+    /// Product-form eta vectors appended between refactorizations.
+    pub etas: u64,
+    /// Cumulative LU fill-in (factor nonzeros beyond the basis
+    /// nonzeros) across all factorizations.
+    pub fill_in: u64,
+    /// Whether a sparse solve failed factorization and the dense
+    /// engine produced this solution instead.
+    pub dense_fallback: bool,
+}
+
 /// A solved linear program.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -89,6 +136,8 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Total pivots performed.
     pub iterations: usize,
+    /// Engine counters (refactorizations, etas, fill-in, fallback).
+    pub engine: EngineStats,
 }
 
 impl Solution {
@@ -108,8 +157,25 @@ pub fn solve(lp: &LinearProgram) -> Solution {
     solve_with(lp, SimplexOptions::default())
 }
 
-/// Solves with explicit options.
+/// Solves with explicit options, dispatching on
+/// [`SimplexOptions::backend`]. A sparse solve that fails basis
+/// factorization falls back to the dense engine automatically (flagged
+/// in [`EngineStats::dense_fallback`]).
 pub fn solve_with(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
+    match opts.backend {
+        SolverBackend::DenseTableau => solve_dense(lp, opts),
+        SolverBackend::SparseRevised => match crate::sparse::solve_sparse(lp, opts) {
+            Ok(sol) => sol,
+            Err(_) => {
+                let mut sol = solve_dense(lp, opts);
+                sol.engine.dense_fallback = true;
+                sol
+            }
+        },
+    }
+}
+
+fn solve_dense(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
     let mut t = Tableau::build(lp, opts);
     t.run(lp)
 }
@@ -145,6 +211,16 @@ impl Basis {
     pub fn signature(&self) -> u64 {
         self.signature
     }
+
+    /// Assembles a basis from raw parts (sparse engine use).
+    pub(crate) fn from_parts(cols: Vec<usize>, signature: u64) -> Self {
+        Self { cols, signature }
+    }
+
+    /// The basic column per row.
+    pub(crate) fn cols(&self) -> &[usize] {
+        &self.cols
+    }
 }
 
 /// A persistent simplex instance that keeps its tableau alive between
@@ -174,6 +250,11 @@ impl Basis {
 pub struct WarmSimplex {
     opts: SimplexOptions,
     state: Option<WarmState>,
+    sparse: Option<crate::sparse::SparseEngine>,
+    /// Counters carried over from sparse engines discarded after a
+    /// factorization failure, so lifetime stats survive the fallback.
+    retired_pivots: usize,
+    retired_engine: EngineStats,
 }
 
 #[derive(Debug)]
@@ -187,10 +268,29 @@ struct WarmState {
 impl WarmSimplex {
     /// Creates an instance with the given options.
     pub fn new(opts: SimplexOptions) -> Self {
-        Self { opts, state: None }
+        Self {
+            opts,
+            state: None,
+            sparse: None,
+            retired_pivots: 0,
+            retired_engine: EngineStats::default(),
+        }
     }
 
-    /// Cold solve (keeps the tableau for later warm re-solves).
+    /// Banks a failed sparse engine's counters before the dense engine
+    /// takes over.
+    fn retire_sparse(&mut self) {
+        if let Some(eng) = self.sparse.take() {
+            self.retired_pivots += eng.pivots();
+            let st = eng.stats();
+            self.retired_engine.refactorizations += st.refactorizations;
+            self.retired_engine.etas += st.etas;
+            self.retired_engine.fill_in += st.fill_in;
+            self.retired_engine.dense_fallback = true;
+        }
+    }
+
+    /// Cold solve (keeps the engine state for later warm re-solves).
     pub fn solve(&mut self, lp: &LinearProgram) -> Solution {
         self.solve_from(lp, None).0
     }
@@ -199,6 +299,26 @@ impl WarmSimplex {
     /// Returns the solution and whether the warm basis was actually
     /// used (signature match + successful restore).
     pub fn solve_from(&mut self, lp: &LinearProgram, warm: Option<&Basis>) -> (Solution, bool) {
+        if self.opts.backend == SolverBackend::SparseRevised {
+            let opts = self.opts;
+            let eng =
+                self.sparse.get_or_insert_with(|| crate::sparse::SparseEngine::new(opts));
+            match eng.solve_from(lp, warm) {
+                Ok(res) => return res,
+                Err(_) => {
+                    // Singular basis factorization mid-solve: discard
+                    // the sparse state and let the dense engine answer.
+                    self.retire_sparse();
+                    let (mut sol, used) = self.solve_from_dense(lp, warm);
+                    sol.engine.dense_fallback = true;
+                    return (sol, used);
+                }
+            }
+        }
+        self.solve_from_dense(lp, warm)
+    }
+
+    fn solve_from_dense(&mut self, lp: &LinearProgram, warm: Option<&Basis>) -> (Solution, bool) {
         let mut tab = Tableau::build(lp, self.opts);
         let mut warm_used = false;
         let sol = match warm {
@@ -236,12 +356,26 @@ impl WarmSimplex {
     /// [`LinearProgram::set_rhs`]. Coefficient or shape changes require
     /// [`WarmSimplex::solve_from`].
     pub fn resolve_rhs(&mut self, lp: &LinearProgram) -> (Solution, bool) {
+        if self.opts.backend == SolverBackend::SparseRevised {
+            let opts = self.opts;
+            let eng =
+                self.sparse.get_or_insert_with(|| crate::sparse::SparseEngine::new(opts));
+            match eng.resolve_rhs(lp) {
+                Ok(res) => return res,
+                Err(_) => {
+                    self.retire_sparse();
+                    let (mut sol, _) = self.solve_from_dense(lp, None);
+                    sol.engine.dense_fallback = true;
+                    return (sol, false);
+                }
+            }
+        }
         let usable = self
             .state
             .as_ref()
             .is_some_and(|s| s.optimal && s.build_user_rhs.len() == lp.num_constraints());
         if !usable {
-            return (self.solve(lp), false);
+            return (self.solve_from_dense(lp, None).0, false);
         }
         let WarmState { tab, build_user_rhs, optimal } = self.state.as_mut().expect("checked");
         // New transformed rhs per tableau row: the build-time value plus
@@ -268,13 +402,34 @@ impl WarmSimplex {
 
     /// The optimal basis of the last solve, if it reached optimality.
     pub fn basis(&self) -> Option<Basis> {
+        if self.opts.backend == SolverBackend::SparseRevised {
+            return self.sparse.as_ref()?.basis();
+        }
         let s = self.state.as_ref()?;
         s.optimal.then(|| s.tab.extract_basis())
     }
 
-    /// Cumulative pivots performed by this instance's live tableau.
+    /// Cumulative pivots performed by this instance, including any
+    /// sparse engine retired to a dense fallback and the dense tableau
+    /// that replaced it.
     pub fn pivots(&self) -> usize {
-        self.state.as_ref().map_or(0, |s| s.tab.iterations)
+        let live_sparse = self.sparse.as_ref().map_or(0, |e| e.pivots());
+        let live_dense = self.state.as_ref().map_or(0, |s| s.tab.iterations);
+        self.retired_pivots + live_sparse + live_dense
+    }
+
+    /// Cumulative engine counters (refactorizations, eta columns,
+    /// fill-in, whether a dense fallback ever happened) across this
+    /// instance's lifetime.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut st = self.retired_engine;
+        if let Some(eng) = &self.sparse {
+            let live = eng.stats();
+            st.refactorizations += live.refactorizations;
+            st.etas += live.etas;
+            st.fill_in += live.fill_in;
+        }
+        st
     }
 }
 
@@ -868,6 +1023,7 @@ impl Tableau {
             objective,
             duals,
             iterations: self.iterations,
+            engine: EngineStats::default(),
         }
     }
 
@@ -878,6 +1034,7 @@ impl Tableau {
             objective: f64::NAN,
             duals: vec![0.0; lp.num_constraints()],
             iterations: self.iterations,
+            engine: EngineStats::default(),
         }
     }
 }
@@ -1074,21 +1231,28 @@ mod tests {
 
     #[test]
     fn parallel_pivots_are_bit_identical() {
-        // Large enough to clear PARALLEL_PIVOT_CELLS so the threaded
-        // elimination path actually runs.
+        // Large enough to clear PARALLEL_PIVOT_CELLS (dense) and
+        // PARALLEL_PRICE_COLS (sparse) so the threaded paths actually
+        // run, for every backend and thread count — including 1.
         let lp = random_lp(120, 120, 7);
-        let serial = solve_with(&lp, SimplexOptions::default());
-        assert!(serial.is_optimal());
-        for threads in [2, 4, 8] {
-            let par = solve_with(&lp, SimplexOptions { threads, ..Default::default() });
-            assert_eq!(par.status, serial.status);
-            assert_eq!(par.iterations, serial.iterations, "threads {threads}");
-            assert!(
-                par.x.iter().zip(&serial.x).all(|(a, b)| a.to_bits() == b.to_bits()),
-                "threads {threads}: x differs"
-            );
-            assert_eq!(par.objective.to_bits(), serial.objective.to_bits());
-            assert!(par.duals.iter().zip(&serial.duals).all(|(a, b)| a.to_bits() == b.to_bits()));
+        for backend in [SolverBackend::DenseTableau, SolverBackend::SparseRevised] {
+            let opts = |threads| SimplexOptions { threads, backend, ..Default::default() };
+            let serial = solve_with(&lp, opts(1));
+            assert!(serial.is_optimal(), "{backend:?}");
+            for threads in [1, 2, 8] {
+                let par = solve_with(&lp, opts(threads));
+                assert_eq!(par.status, serial.status);
+                assert_eq!(par.iterations, serial.iterations, "{backend:?} threads {threads}");
+                assert!(
+                    par.x.iter().zip(&serial.x).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{backend:?} threads {threads}: x differs"
+                );
+                assert_eq!(par.objective.to_bits(), serial.objective.to_bits());
+                assert!(
+                    par.duals.iter().zip(&serial.duals).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{backend:?} threads {threads}: duals differ"
+                );
+            }
         }
     }
 

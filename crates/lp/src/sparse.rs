@@ -1,0 +1,1025 @@
+//! Sparse revised simplex backend.
+//!
+//! This engine mirrors the dense tableau's transformation pipeline
+//! exactly (lower-bound shifts, finite upper bounds as extra `<=`
+//! rows, rhs sign normalization, slack/surplus/artificial columns,
+//! two phases with artificials barred from phase 2) so statuses, duals
+//! and objective values line up with the dense oracle — but instead of
+//! carrying an `(m+1) × (n+1)` tableau it keeps:
+//!
+//! * the constraint matrix in CSC form (never modified),
+//! * an LU factorization of the basis ([`crate::factor::LuFactors`])
+//!   with a product-form eta file, refactorized every
+//!   [`REFACTOR_INTERVAL`] pivots,
+//! * the basic-variable values `x_B` and a pricing cursor.
+//!
+//! Each iteration is one BTRAN (duals), a partial-pricing scan
+//! (segments of columns, most-negative reduced cost, automatic switch
+//! to Bland's lowest-index rule after a stall — the anti-cycling
+//! guarantee), one FTRAN (entering column) and an `O(m)` update —
+//! instead of the dense `O(m·n)` tableau elimination.
+//!
+//! The user program is reduced by [`crate::presolve`] before the core
+//! ever sees it; solutions are mapped back to the original space
+//! (including exact duals for eliminated rows) on the way out.
+
+use crate::factor::{EtaFile, FactorError, LuFactors, REFACTOR_INTERVAL};
+use crate::model::{LinearProgram, Sense};
+use crate::presolve::{presolve, PresolveMode, PresolveResult, Reduction};
+use crate::simplex::{
+    Basis, EngineStats, SimplexOptions, Solution, SolveStatus,
+};
+
+/// Columns per pricing segment (at least this many; larger programs
+/// use `ncols / 8`).
+const PRICE_SEGMENT: usize = 256;
+
+/// Minimum segment width before reduced-cost computation fans out
+/// across threads; each column's dot product is computed by exactly
+/// one thread with the same arithmetic as the serial path, so results
+/// are bit-identical at every thread count.
+pub(crate) const PARALLEL_PRICE_COLS: usize = 1536;
+
+/// Salt folded into sparse basis signatures so a dense-backend basis
+/// (or a basis from a different presolve reduction) never restores
+/// onto a sparse core.
+const SPARSE_SIG_SALT: u64 = 0x5bad_c0de_5eed_0f0f;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+/// The revised simplex core over one (already presolved) program.
+#[derive(Debug)]
+struct SparseCore {
+    opts: SimplexOptions,
+    m: usize,
+    ncols: usize,
+    n_structural: usize,
+    /// CSC: per column, `(row, value)` sorted by row.
+    cols: Vec<Vec<(usize, f64)>>,
+    kind: Vec<CKind>,
+    /// Phase-2 costs per column (structural objective, 0 elsewhere).
+    costs: Vec<f64>,
+    /// Transformed rhs at build time (≥ 0).
+    b0: Vec<f64>,
+    /// Current transformed rhs.
+    b: Vec<f64>,
+    /// `(row, sign)` per user (reduced) constraint.
+    user_rows: Vec<(usize, f64)>,
+    shift: Vec<f64>,
+    obj_const: f64,
+    /// Initial basic column of every slot (slack or artificial).
+    init_basic: Vec<usize>,
+    signature: u64,
+
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    x_b: Vec<f64>,
+    lu: Option<LuFactors>,
+    etas: EtaFile,
+    cursor: usize,
+    iterations: usize,
+    refactorizations: u64,
+    etas_total: u64,
+    fill_total: u64,
+}
+
+impl SparseCore {
+    fn build(lp: &LinearProgram, opts: SimplexOptions, sig_salt: u64) -> Self {
+        let n = lp.num_vars();
+        let shift: Vec<f64> = lp.vars().iter().map(|v| v.lower).collect();
+        let obj_const: f64 = lp.vars().iter().map(|v| v.objective * v.lower).sum();
+
+        struct Row {
+            coeffs: Vec<(usize, f64)>,
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(lp.num_constraints());
+        for c in lp.constraints() {
+            let mut dense: Vec<f64> = vec![0.0; n];
+            for &(v, a) in &c.terms {
+                dense[v.index()] += a;
+            }
+            let mut rhs = c.rhs;
+            for (j, &a) in dense.iter().enumerate() {
+                rhs -= a * shift[j];
+            }
+            let coeffs: Vec<(usize, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a != 0.0)
+                .map(|(j, &a)| (j, a))
+                .collect();
+            rows.push(Row { coeffs, sense: c.sense, rhs });
+        }
+        let n_user = rows.len();
+        for (j, v) in lp.vars().iter().enumerate() {
+            if v.upper.is_finite() {
+                rows.push(Row {
+                    coeffs: vec![(j, 1.0)],
+                    sense: Sense::Le,
+                    rhs: v.upper - v.lower,
+                });
+            }
+        }
+        let m = rows.len();
+        let mut signs = vec![1.0f64; m];
+        for (i, r) in rows.iter_mut().enumerate() {
+            if r.rhs < 0.0 {
+                signs[i] = -1.0;
+                r.rhs = -r.rhs;
+                for c in &mut r.coeffs {
+                    c.1 = -c.1;
+                }
+                r.sense = match r.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for r in &rows {
+            match r.sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let ncols = n + n_slack + n_art;
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        let mut kind = vec![CKind::Structural; ncols];
+        for k in kind.iter_mut().take(n + n_slack).skip(n) {
+            *k = CKind::Slack;
+        }
+        for k in kind.iter_mut().skip(n + n_slack) {
+            *k = CKind::Artificial;
+        }
+        let mut init_basic = vec![usize::MAX; m];
+        let mut slack_next = n;
+        let mut art_next = n + n_slack;
+        let mut b0 = Vec::with_capacity(m);
+        for (i, r) in rows.iter().enumerate() {
+            for &(j, a) in &r.coeffs {
+                cols[j].push((i, a));
+            }
+            b0.push(r.rhs);
+            match r.sense {
+                Sense::Le => {
+                    cols[slack_next].push((i, 1.0));
+                    init_basic[i] = slack_next;
+                    slack_next += 1;
+                }
+                Sense::Ge => {
+                    cols[slack_next].push((i, -1.0));
+                    slack_next += 1;
+                    cols[art_next].push((i, 1.0));
+                    init_basic[i] = art_next;
+                    art_next += 1;
+                }
+                Sense::Eq => {
+                    cols[art_next].push((i, 1.0));
+                    init_basic[i] = art_next;
+                    art_next += 1;
+                }
+            }
+        }
+        let mut costs = vec![0.0f64; ncols];
+        for (j, v) in lp.vars().iter().enumerate() {
+            costs[j] = v.objective;
+        }
+        let user_rows = (0..n_user).map(|i| (i, signs[i])).collect();
+        let signature = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            n.hash(&mut h);
+            for v in lp.vars() {
+                v.upper.is_finite().hash(&mut h);
+            }
+            for (i, r) in rows.iter().enumerate() {
+                (r.sense as u8).hash(&mut h);
+                (signs[i] < 0.0).hash(&mut h);
+            }
+            h.finish() ^ SPARSE_SIG_SALT ^ sig_salt
+        };
+        let basis = init_basic.clone();
+        let mut in_basis = vec![false; ncols];
+        for &c in &basis {
+            in_basis[c] = true;
+        }
+        Self {
+            opts,
+            m,
+            ncols,
+            n_structural: n,
+            cols,
+            kind,
+            costs,
+            b: b0.clone(),
+            b0,
+            user_rows,
+            shift,
+            obj_const,
+            init_basic,
+            signature,
+            basis,
+            in_basis,
+            x_b: Vec::new(),
+            lu: None,
+            etas: EtaFile::default(),
+            cursor: 0,
+            iterations: 0,
+            refactorizations: 0,
+            etas_total: 0,
+            fill_total: 0,
+        }
+    }
+
+    /// Rebuilds the LU factors from the current basis, drops the eta
+    /// file and recomputes `x_B` from scratch.
+    fn refactorize(&mut self) -> Result<(), FactorError> {
+        let bcols: Vec<Vec<(usize, f64)>> =
+            self.basis.iter().map(|&c| self.cols[c].clone()).collect();
+        let basis_nnz: usize = bcols.iter().map(Vec::len).sum();
+        let lu = LuFactors::factorize(self.m, &bcols)?;
+        self.fill_total += lu.fill_in(basis_nnz) as u64;
+        self.refactorizations += 1;
+        self.lu = Some(lu);
+        self.etas.clear();
+        self.x_b = self.ftran(&self.b);
+        Ok(())
+    }
+
+    /// `B⁻¹ v` (`v` indexed by row, result by slot).
+    fn ftran(&self, v: &[f64]) -> Vec<f64> {
+        let mut w = self.lu.as_ref().expect("factorized").ftran(v);
+        self.etas.apply_ftran(&mut w);
+        w
+    }
+
+    /// `B⁻ᵀ c` (`c` indexed by slot, result by row).
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let mut t = c.to_vec();
+        self.etas.apply_btran(&mut t);
+        self.lu.as_ref().expect("factorized").btran(&t)
+    }
+
+    /// FTRAN of constraint column `j` (dense by slot).
+    fn ftran_col(&self, j: usize) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.m];
+        for &(r, a) in &self.cols[j] {
+            v[r] = a;
+        }
+        self.ftran(&v)
+    }
+
+    #[inline]
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        self.cols[j].iter().map(|&(r, a)| a * y[r]).sum()
+    }
+
+    /// Replaces the basic variable of `slot` with column `q`, whose
+    /// FTRAN image is `w`.
+    fn pivot(&mut self, slot: usize, q: usize, w: &[f64]) -> Result<(), FactorError> {
+        let theta = self.x_b[slot] / w[slot];
+        for (s, xb) in self.x_b.iter_mut().enumerate() {
+            if s != slot && w[s] != 0.0 {
+                *xb -= theta * w[s];
+            }
+        }
+        self.x_b[slot] = theta;
+        self.in_basis[self.basis[slot]] = false;
+        self.basis[slot] = q;
+        self.in_basis[q] = true;
+        self.iterations += 1;
+        if !self.etas.push(slot, w) || self.etas.len() >= REFACTOR_INTERVAL {
+            self.refactorize()?;
+        } else {
+            self.etas_total += 1;
+        }
+        Ok(())
+    }
+
+    /// Entering-column selection. Dantzig partial pricing over column
+    /// segments with a deterministic cursor; Bland's lowest-index rule
+    /// when `bland` is set.
+    fn price(&mut self, y: &[f64], costs: &[f64], allow_art: bool, bland: bool) -> Option<usize> {
+        let eps = self.opts.eps;
+        let allowed = |this: &Self, j: usize| {
+            !this.in_basis[j] && (allow_art || this.kind[j] != CKind::Artificial)
+        };
+        if bland {
+            return (0..self.ncols).find(|&j| {
+                allowed(self, j) && costs[j] - self.col_dot(j, y) < -eps
+            });
+        }
+        let seg = PRICE_SEGMENT.max(self.ncols / 8).min(self.ncols.max(1));
+        let mut start = self.cursor.min(self.ncols.saturating_sub(1));
+        let mut scanned = 0usize;
+        let mut d = vec![0.0f64; seg];
+        while scanned < self.ncols {
+            let len = seg.min(self.ncols - start).min(self.ncols - scanned);
+            self.price_segment(start, len, y, costs, allow_art, &mut d[..len]);
+            let mut best: Option<usize> = None;
+            let mut best_d = -eps;
+            for (k, &dj) in d[..len].iter().enumerate() {
+                if dj < best_d {
+                    best_d = dj;
+                    best = Some(start + k);
+                }
+            }
+            if let Some(j) = best {
+                self.cursor = (start + len) % self.ncols.max(1);
+                return Some(j);
+            }
+            scanned += len;
+            start = (start + len) % self.ncols.max(1);
+        }
+        None
+    }
+
+    /// Reduced costs of columns `[start, start+len)` into `out`
+    /// (`+∞` for columns that may not enter). Fanned out across
+    /// threads above [`PARALLEL_PRICE_COLS`]; per-column arithmetic is
+    /// identical at every thread count.
+    fn price_segment(
+        &self,
+        start: usize,
+        len: usize,
+        y: &[f64],
+        costs: &[f64],
+        allow_art: bool,
+        out: &mut [f64],
+    ) {
+        let one = |this: &Self, j: usize| {
+            if this.in_basis[j] || (!allow_art && this.kind[j] == CKind::Artificial) {
+                f64::INFINITY
+            } else {
+                costs[j] - this.col_dot(j, y)
+            }
+        };
+        if self.opts.threads > 1 && len >= PARALLEL_PRICE_COLS {
+            let nthreads = self.opts.threads.min(len).max(1);
+            let chunk = len.div_ceil(nthreads);
+            std::thread::scope(|s| {
+                for (ci, o) in out.chunks_mut(chunk).enumerate() {
+                    s.spawn(move || {
+                        for (k, slot) in o.iter_mut().enumerate() {
+                            *slot = one(self, start + ci * chunk + k);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = one(self, start + k);
+            }
+        }
+    }
+
+    /// Primal simplex loop over the given costs.
+    fn iterate(&mut self, costs: &[f64], allow_art: bool) -> Result<SolveStatus, FactorError> {
+        let eps = self.opts.eps;
+        let mut best_obj = f64::INFINITY;
+        let mut stall = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Ok(SolveStatus::IterationLimit);
+            }
+            let cb: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
+            let y = self.btran(&cb);
+            let bland = stall >= self.opts.stall_threshold;
+            let Some(q) = self.price(&y, costs, allow_art, bland) else {
+                return Ok(SolveStatus::Optimal);
+            };
+            let w = self.ftran_col(q);
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (s, &a) in w.iter().enumerate() {
+                if a > eps {
+                    let ratio = self.x_b[s] / a;
+                    let better = ratio < best_ratio - eps
+                        || (ratio < best_ratio + eps
+                            && leave.is_none_or(|l| self.basis[s] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(s);
+                    }
+                }
+            }
+            let Some(slot) = leave else {
+                return Ok(SolveStatus::Unbounded);
+            };
+            self.pivot(slot, q, &w)?;
+            let obj: f64 =
+                self.basis.iter().zip(&self.x_b).map(|(&c, &xb)| costs[c] * xb).sum();
+            if obj < best_obj - 1e-12 {
+                best_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+
+    /// Dual simplex loop (phase-2 costs, artificials barred), used for
+    /// rhs-only re-solves and warm restores.
+    fn dual_simplex(&mut self) -> Result<SolveStatus, FactorError> {
+        let eps = self.opts.eps;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Ok(SolveStatus::IterationLimit);
+            }
+            let mut leave: Option<usize> = None;
+            let mut most_neg = -1e-9;
+            for (s, &xb) in self.x_b.iter().enumerate() {
+                if xb < most_neg {
+                    most_neg = xb;
+                    leave = Some(s);
+                }
+            }
+            let Some(slot) = leave else {
+                return Ok(SolveStatus::Optimal);
+            };
+            let mut e = vec![0.0f64; self.m];
+            e[slot] = 1.0;
+            let rho = self.btran(&e);
+            let cb: Vec<f64> = self.basis.iter().map(|&c| self.costs[c]).collect();
+            let y = self.btran(&cb);
+            let mut enter: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.ncols {
+                if self.in_basis[j] || self.kind[j] == CKind::Artificial {
+                    continue;
+                }
+                let alpha = self.col_dot(j, &rho);
+                if alpha < -eps {
+                    let dj = self.costs[j] - self.col_dot(j, &y);
+                    let ratio = dj.max(0.0) / -alpha;
+                    if ratio < best_ratio - eps {
+                        best_ratio = ratio;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(q) = enter else {
+                return Ok(SolveStatus::Infeasible);
+            };
+            let w = self.ftran_col(q);
+            if w[slot].abs() <= eps {
+                // Numerically inconsistent with the BTRAN row: force a
+                // clean factorization before deciding anything.
+                self.refactorize()?;
+                continue;
+            }
+            self.pivot(slot, q, &w)?;
+        }
+    }
+
+    /// Pivots leftover zero-valued artificial basics out of the basis
+    /// wherever a structural/slack column can replace them.
+    fn drive_out_artificials(&mut self) -> Result<(), FactorError> {
+        for slot in 0..self.m {
+            if self.kind[self.basis[slot]] != CKind::Artificial
+                || self.x_b[slot].abs() > 1e-7
+            {
+                continue;
+            }
+            let mut e = vec![0.0f64; self.m];
+            e[slot] = 1.0;
+            let rho = self.btran(&e);
+            for j in 0..self.ncols {
+                if self.in_basis[j] || self.kind[j] == CKind::Artificial {
+                    continue;
+                }
+                if self.col_dot(j, &rho).abs() > 1e-7 {
+                    let w = self.ftran_col(j);
+                    if w[slot].abs() > 1e-7 {
+                        self.pivot(slot, j, &w)?;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full two-phase solve from the initial slack/artificial basis.
+    fn run(&mut self) -> Result<Solution, FactorError> {
+        if self.m == 0 {
+            return Ok(self.extract());
+        }
+        self.refactorize()?;
+        if self.kind.contains(&CKind::Artificial) {
+            let costs1: Vec<f64> = self
+                .kind
+                .iter()
+                .map(|&k| if k == CKind::Artificial { 1.0 } else { 0.0 })
+                .collect();
+            self.cursor = 0;
+            let st = self.iterate(&costs1, true)?;
+            if st == SolveStatus::IterationLimit {
+                return Ok(self.failed(SolveStatus::IterationLimit));
+            }
+            let phase1: f64 = self
+                .basis
+                .iter()
+                .zip(&self.x_b)
+                .filter(|(&c, _)| self.kind[c] == CKind::Artificial)
+                .map(|(_, &xb)| xb)
+                .sum();
+            if phase1 > 1e-6 {
+                return Ok(self.failed(SolveStatus::Infeasible));
+            }
+            self.drive_out_artificials()?;
+        }
+        self.cursor = 0;
+        let costs = self.costs.clone();
+        let st = self.iterate(&costs, false)?;
+        match st {
+            SolveStatus::Optimal => Ok(self.extract()),
+            other => Ok(self.failed(other)),
+        }
+    }
+
+    /// Installs a saved basis (artificial entries fall back to the
+    /// slot's initial basic column) and refactorizes. `false` leaves
+    /// the core on its initial basis, ready for a cold solve.
+    fn restore_basis(&mut self, saved: &[usize]) -> Result<bool, FactorError> {
+        if saved.len() != self.m {
+            return Ok(false);
+        }
+        if self.m == 0 {
+            return Ok(true);
+        }
+        let mut used = vec![false; self.ncols];
+        let mut cand = vec![usize::MAX; self.m];
+        for (slot, &c) in saved.iter().enumerate() {
+            if c < self.ncols && self.kind[c] != CKind::Artificial && !used[c] {
+                cand[slot] = c;
+                used[c] = true;
+            }
+        }
+        let mut ok = true;
+        for (slot, c) in cand.iter_mut().enumerate() {
+            if *c == usize::MAX {
+                let init = self.init_basic[slot];
+                if used[init] {
+                    ok = false;
+                    break;
+                }
+                *c = init;
+                used[init] = true;
+            }
+        }
+        if ok {
+            let prev = std::mem::replace(&mut self.basis, cand);
+            match self.refactorize() {
+                Ok(()) => {
+                    self.in_basis = vec![false; self.ncols];
+                    for &c in &self.basis {
+                        self.in_basis[c] = true;
+                    }
+                    return Ok(true);
+                }
+                Err(FactorError) => {
+                    // Singular restored basis: fall back cleanly.
+                    self.basis = prev;
+                }
+            }
+        }
+        self.basis.clone_from(&self.init_basic);
+        self.in_basis = vec![false; self.ncols];
+        for &c in &self.basis {
+            self.in_basis[c] = true;
+        }
+        self.refactorize()?;
+        Ok(false)
+    }
+
+    /// Finishes a solve after a successful [`SparseCore::restore_basis`]:
+    /// primal cleanup when the restored point is primal feasible, dual
+    /// simplex when it is dual feasible, `None` otherwise (caller runs
+    /// cold).
+    fn solve_restored(&mut self) -> Result<Option<Solution>, FactorError> {
+        if self.m == 0 {
+            return Ok(Some(self.extract()));
+        }
+        self.cursor = 0;
+        let costs = self.costs.clone();
+        let primal_ok = self.x_b.iter().all(|&v| v >= -1e-7);
+        let st = if primal_ok {
+            self.iterate(&costs, false)?
+        } else {
+            let cb: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
+            let y = self.btran(&cb);
+            let dual_ok = (0..self.ncols).all(|j| {
+                self.in_basis[j]
+                    || self.kind[j] == CKind::Artificial
+                    || costs[j] - self.col_dot(j, &y) >= -1e-7
+            });
+            if !dual_ok {
+                return Ok(None);
+            }
+            match self.dual_simplex()? {
+                SolveStatus::Optimal => self.iterate(&costs, false)?,
+                other => other,
+            }
+        };
+        Ok((st == SolveStatus::Optimal).then(|| self.extract()))
+    }
+
+    /// Re-solves after a reduced-space rhs-only change. `deltas` are
+    /// `(reduced_row, new_rhs − build_rhs)` pairs.
+    fn resolve_rhs(&mut self, deltas: &[(usize, f64)]) -> Result<SolveStatus, FactorError> {
+        let mut new_b = self.b0.clone();
+        for &(k, d) in deltas {
+            let (row, sign) = self.user_rows[k];
+            new_b[row] += sign * d;
+        }
+        self.b = new_b;
+        if self.m == 0 {
+            return Ok(SolveStatus::Optimal);
+        }
+        self.x_b = self.ftran(&self.b);
+        self.cursor = 0;
+        let st = self.dual_simplex()?;
+        if st == SolveStatus::Optimal {
+            let costs = self.costs.clone();
+            self.iterate(&costs, false)
+        } else {
+            Ok(st)
+        }
+    }
+
+    fn current_basis(&self) -> Basis {
+        Basis::from_parts(self.basis.clone(), self.signature)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            refactorizations: self.refactorizations,
+            etas: self.etas_total,
+            fill_in: self.fill_total,
+            dense_fallback: false,
+        }
+    }
+
+    /// Reduced-space optimal solution.
+    fn extract(&self) -> Solution {
+        let mut x = vec![0.0f64; self.n_structural];
+        for (s, &c) in self.basis.iter().enumerate() {
+            if c < self.n_structural {
+                x[c] = self.x_b[s];
+            }
+        }
+        for (j, xi) in x.iter_mut().enumerate() {
+            *xi += self.shift[j];
+        }
+        let objective: f64 = self
+            .basis
+            .iter()
+            .zip(&self.x_b)
+            .map(|(&c, &xb)| self.costs[c] * xb)
+            .sum::<f64>()
+            + self.obj_const;
+        let duals = if self.m == 0 {
+            Vec::new()
+        } else {
+            let cb: Vec<f64> = self.basis.iter().map(|&c| self.costs[c]).collect();
+            let y = self.btran(&cb);
+            self.user_rows.iter().map(|&(row, sign)| y[row] * sign).collect()
+        };
+        Solution {
+            status: SolveStatus::Optimal,
+            x,
+            objective,
+            duals,
+            iterations: self.iterations,
+            engine: self.engine_stats(),
+        }
+    }
+
+    fn failed(&self, status: SolveStatus) -> Solution {
+        Solution {
+            status,
+            x: vec![0.0; self.n_structural],
+            objective: f64::NAN,
+            duals: vec![0.0; self.user_rows.len()],
+            iterations: self.iterations,
+            engine: self.engine_stats(),
+        }
+    }
+}
+
+/// A warm-capable sparse solver instance: presolve + core + postsolve,
+/// with the same `solve_from` / `resolve_rhs` semantics as the dense
+/// [`crate::simplex::WarmSimplex`] paths.
+#[derive(Debug)]
+pub(crate) struct SparseEngine {
+    opts: SimplexOptions,
+    mode: PresolveMode,
+    state: Option<SpState>,
+}
+
+#[derive(Debug)]
+struct SpState {
+    red: Box<Reduction>,
+    core: SparseCore,
+    optimal: bool,
+}
+
+impl SparseEngine {
+    /// Warm-capable instance: rhs-safe presolve so *any* rhs-only
+    /// change between solves stays on the warm path.
+    pub fn new(opts: SimplexOptions) -> Self {
+        Self { opts, mode: PresolveMode::RhsSafe, state: None }
+    }
+
+    /// One-shot instance: full presolve.
+    fn one_shot(opts: SimplexOptions) -> Self {
+        Self { opts, mode: PresolveMode::Full, state: None }
+    }
+
+    /// Maps a reduced-space solution back to the original program.
+    fn finish(&self, lp: &LinearProgram, red: &Reduction, sol: Solution) -> Solution {
+        match sol.status {
+            SolveStatus::Optimal if red.pending_unbounded => Solution {
+                status: SolveStatus::Unbounded,
+                x: vec![0.0; lp.num_vars()],
+                objective: f64::NAN,
+                duals: vec![0.0; lp.num_constraints()],
+                iterations: sol.iterations,
+                engine: sol.engine,
+            },
+            SolveStatus::Optimal => {
+                let x = red.postsolve_x(&sol.x);
+                let duals = red.postsolve_duals(lp, &x, &sol.duals);
+                Solution {
+                    status: SolveStatus::Optimal,
+                    x,
+                    objective: sol.objective + red.obj_const,
+                    duals,
+                    iterations: sol.iterations,
+                    engine: sol.engine,
+                }
+            }
+            status => Solution {
+                status,
+                x: vec![0.0; lp.num_vars()],
+                objective: f64::NAN,
+                duals: vec![0.0; lp.num_constraints()],
+                iterations: sol.iterations,
+                engine: sol.engine,
+            },
+        }
+    }
+
+    fn presolve_infeasible(&self, lp: &LinearProgram) -> Solution {
+        Solution {
+            status: SolveStatus::Infeasible,
+            x: vec![0.0; lp.num_vars()],
+            objective: f64::NAN,
+            duals: vec![0.0; lp.num_constraints()],
+            iterations: 0,
+            engine: EngineStats::default(),
+        }
+    }
+
+    /// Cold or basis-seeded solve; mirrors `WarmSimplex::solve_from`.
+    pub fn solve_from(
+        &mut self,
+        lp: &LinearProgram,
+        warm: Option<&Basis>,
+    ) -> Result<(Solution, bool), FactorError> {
+        let red = match presolve(lp, self.mode) {
+            PresolveResult::Infeasible => {
+                self.state = None;
+                return Ok((self.presolve_infeasible(lp), false));
+            }
+            PresolveResult::Ready(r) => r,
+        };
+        let mut core = SparseCore::build(&red.reduced, self.opts, red.pattern_hash);
+        let mut warm_used = false;
+        let red_sol = match warm {
+            Some(b)
+                if b.signature() == core.signature
+                    && core.restore_basis(b.cols())? =>
+            {
+                match core.solve_restored()? {
+                    Some(sol) => {
+                        warm_used = true;
+                        sol
+                    }
+                    None => {
+                        core = SparseCore::build(&red.reduced, self.opts, red.pattern_hash);
+                        core.run()?
+                    }
+                }
+            }
+            _ => core.run()?,
+        };
+        let sol = self.finish(lp, &red, red_sol);
+        let optimal = sol.is_optimal();
+        self.state = Some(SpState { red, core, optimal });
+        Ok((sol, warm_used))
+    }
+
+    /// Rhs-only warm re-solve; mirrors `WarmSimplex::resolve_rhs`.
+    pub fn resolve_rhs(
+        &mut self,
+        lp: &LinearProgram,
+    ) -> Result<(Solution, bool), FactorError> {
+        let usable = self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.optimal && s.red.rhs_change_is_safe(lp));
+        if !usable {
+            return Ok((self.solve_from(lp, None)?.0, false));
+        }
+        let st = {
+            let s = self.state.as_mut().expect("checked");
+            let deltas = s.red.reduced_rhs_deltas(lp);
+            s.core.resolve_rhs(&deltas)?
+        };
+        if st == SolveStatus::Optimal {
+            let s = self.state.as_ref().expect("checked");
+            let sol = self.finish(lp, &s.red, s.core.extract());
+            if sol.is_optimal() {
+                return Ok((sol, true));
+            }
+            // pending_unbounded turned a formally optimal reduced solve
+            // into an unbounded verdict; report it via the cold path
+            // for a consistent state.
+        }
+        Ok((self.solve_from(lp, None)?.0, false))
+    }
+
+    /// The optimal basis of the last solve (reduced space + sparse
+    /// signature), when it reached optimality.
+    pub fn basis(&self) -> Option<Basis> {
+        let s = self.state.as_ref()?;
+        s.optimal.then(|| s.core.current_basis())
+    }
+
+    /// Cumulative pivots performed by the live core.
+    pub fn pivots(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.core.iterations)
+    }
+
+    /// Cumulative engine counters of the live core.
+    pub fn stats(&self) -> EngineStats {
+        self.state.as_ref().map_or_else(EngineStats::default, |s| s.core.engine_stats())
+    }
+}
+
+/// One-shot sparse solve (the `solve_with` sparse path).
+pub(crate) fn solve_sparse(
+    lp: &LinearProgram,
+    opts: SimplexOptions,
+) -> Result<Solution, FactorError> {
+    let mut eng = SparseEngine::one_shot(opts);
+    Ok(eng.solve_from(lp, None)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Sense};
+    use crate::simplex::{solve_with, SolverBackend};
+
+    fn sparse_opts() -> SimplexOptions {
+        SimplexOptions { backend: SolverBackend::SparseRevised, ..Default::default() }
+    }
+
+    fn dense_opts() -> SimplexOptions {
+        SimplexOptions { backend: SolverBackend::DenseTableau, ..Default::default() }
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matches_dense_on_basic_lp() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, -1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, -1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Sense::Le, 6.0);
+        let s = solve_with(&lp, sparse_opts());
+        let d = solve_with(&lp, dense_opts());
+        assert!(s.is_optimal());
+        assert_close(s.objective, d.objective, 1e-8);
+        assert_close(s.value(x), d.value(x), 1e-8);
+        assert_close(s.value(y), d.value(y), 1e-8);
+        lp.check_feasible(&s.x, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn ge_eq_rows_and_duals_match_dense() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 3.0);
+        let z = lp.add_var(1.0, 10.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Sense::Eq, 10.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Ge, 2.0);
+        lp.add_constraint(vec![(y, 1.0), (z, 2.0)], Sense::Le, 14.0);
+        let s = solve_with(&lp, sparse_opts());
+        let d = solve_with(&lp, dense_opts());
+        assert_eq!(s.status, d.status);
+        assert_close(s.objective, d.objective, 1e-7);
+        lp.check_feasible(&s.x, 1e-6).unwrap();
+        // Duals agree with the dense oracle's sign conventions.
+        for (ds, dd) in s.duals.iter().zip(&d.duals) {
+            assert_close(*ds, *dd, 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_match_dense() {
+        let mut inf = LinearProgram::new();
+        let x = inf.add_var(0.0, f64::INFINITY, 1.0);
+        let y = inf.add_var(0.0, f64::INFINITY, 1.0);
+        inf.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        inf.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        assert_eq!(solve_with(&inf, sparse_opts()).status, SolveStatus::Infeasible);
+
+        let mut unb = LinearProgram::new();
+        let x = unb.add_var(0.0, f64::INFINITY, -1.0);
+        let y = unb.add_var(0.0, f64::INFINITY, 0.0);
+        unb.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        assert_eq!(solve_with(&unb, sparse_opts()).status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn warm_rhs_resolve_matches_cold() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 3.0);
+        let c1 = lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0);
+        let c2 = lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        let mut eng = SparseEngine::new(sparse_opts());
+        let (first, _) = eng.solve_from(&lp, None).unwrap();
+        assert!(first.is_optimal());
+        for (b1, b2) in [(6.0, 1.0), (2.0, 0.5), (10.0, -2.0), (4.0, 1.0)] {
+            lp.set_rhs(c1, b1);
+            lp.set_rhs(c2, b2);
+            let (warm, used) = eng.resolve_rhs(&lp).unwrap();
+            let cold = solve_with(&lp, sparse_opts());
+            assert!(used, "warm path must apply for rhs-only changes");
+            assert_eq!(warm.status, cold.status);
+            assert_close(warm.objective, cold.objective, 1e-7);
+            lp.check_feasible(&warm.x, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn basis_round_trips_through_warm_restore() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 2.0);
+        let z = lp.add_var(0.0, f64::INFINITY, 0.5);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Sense::Ge, 6.0);
+        lp.add_constraint(vec![(x, 2.0), (z, -1.0)], Sense::Le, 4.0);
+        let mut eng = SparseEngine::new(sparse_opts());
+        let (cold, _) = eng.solve_from(&lp, None).unwrap();
+        assert!(cold.is_optimal());
+        let basis = eng.basis().expect("optimal basis");
+        let mut eng2 = SparseEngine::new(sparse_opts());
+        let (warm, used) = eng2.solve_from(&lp, Some(&basis)).unwrap();
+        assert!(used, "same structure must accept the saved basis");
+        assert!(warm.is_optimal());
+        assert_close(warm.objective, cold.objective, 1e-9);
+    }
+
+    #[test]
+    fn engine_stats_are_populated() {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> =
+            (0..40).map(|i| lp.add_var(0.0, f64::INFINITY, 1.0 + (i % 5) as f64)).collect();
+        for i in 0..40usize {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (i + j) % 4 != 0)
+                .map(|(j, &v)| (v, 1.0 + ((i * 7 + j) % 3) as f64))
+                .collect();
+            lp.add_constraint(terms, Sense::Ge, 5.0 + (i % 7) as f64);
+        }
+        let s = solve_with(&lp, sparse_opts());
+        assert!(s.is_optimal());
+        assert!(s.engine.refactorizations >= 1, "initial factorization counted");
+        assert!(!s.engine.dense_fallback);
+        assert!(s.iterations > 0);
+    }
+}

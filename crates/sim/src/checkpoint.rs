@@ -31,7 +31,7 @@
 
 use crate::faults::{FaultPlan, PlanError};
 use crate::robust::{RobustController, RobustReport};
-use prete_lp::BasisCacheSnapshot;
+use prete_lp::{BasisCacheSnapshot, SolverBackend};
 use prete_obs::{Recorder, RunReport};
 use prete_optical::trace::LossTrace;
 use rand::rngs::StdRng;
@@ -44,7 +44,9 @@ use std::path::{Path, PathBuf};
 /// the serialized shape. Recovery treats a version mismatch like
 /// corruption: the checkpoint is rejected and the journal replays from
 /// genesis.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: added the `backend` field (LP engine choice survives restarts).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Storage backends
@@ -232,6 +234,9 @@ pub struct ControllerCheckpoint {
     pub priors: Vec<f64>,
     /// Warm-start basis cache contents and counters.
     pub basis_cache: BasisCacheSnapshot,
+    /// LP engine the controller was solving with; restored so a
+    /// recovered run keeps producing bit-identical solver work.
+    pub backend: SolverBackend,
     /// FNV-1a digest of the canonical JSON with this field zeroed;
     /// detects torn writes and bit rot on load.
     pub digest: u64,
@@ -469,6 +474,7 @@ impl<'a, S: Store> DurableController<'a, S> {
                 robust.set_last_known_good(c.last_known_good.clone());
                 robust.set_priors(c.priors.clone());
                 robust.inner.cache.borrow_mut().restore(&c.basis_cache);
+                robust.inner.backend = c.backend;
                 c.epoch
             }
             None => 0,
@@ -604,6 +610,7 @@ impl<'a, S: Store> DurableController<'a, S> {
             last_known_good: self.robust.last_known_good().clone(),
             priors: self.robust.priors().to_vec(),
             basis_cache: self.robust.inner.cache.borrow().snapshot(),
+            backend: self.robust.inner.backend,
             digest: 0,
         }
         .seal()?;
@@ -658,6 +665,7 @@ mod tests {
                         predictor: &predictor,
                         scheme: &scheme,
                         latency: LatencyModel::default(),
+                        backend: Default::default(),
                         cache: Default::default(),
                         obs: Default::default(),
                     },
@@ -692,6 +700,7 @@ mod tests {
             },
             priors: vec![0.1, 0.2, 0.3],
             basis_cache: BasisCacheSnapshot::default(),
+            backend: SolverBackend::default(),
             digest: 0,
         }
         .seal()

@@ -82,6 +82,11 @@ pub struct Controller<'a> {
     pub scheme: &'a dyn TeScheme,
     /// Stage latencies.
     pub latency: LatencyModel,
+    /// LP engine for the TE recompute (default
+    /// [`SolverBackend::SparseRevised`]; the dense tableau is the
+    /// automatic fallback). Checkpoints record the choice so a restored
+    /// controller keeps solving with the same engine.
+    pub backend: SolverBackend,
     /// Warm-start basis cache shared across replays (epochs): each TE
     /// recompute saves its optimal bases and the next one on the same
     /// problem structure restores them, skipping simplex phase 1.
@@ -178,6 +183,7 @@ impl<'a> Controller<'a> {
             let (sol, stats) = TeSolver::new(&problem)
                 .beta(0.99)
                 .method(SolveMethod::Heuristic)
+                .backend(self.backend)
                 .warm_cache(&mut cache)
                 .recorder(&self.obs)
                 .solve_with_stats()
@@ -296,6 +302,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -360,6 +367,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -391,6 +399,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };

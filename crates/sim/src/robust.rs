@@ -370,6 +370,7 @@ impl<'a> RobustController<'a> {
         let last_known_good = TeSolver::new(&problem)
             .beta(beta)
             .method(SolveMethod::Heuristic)
+            .backend(inner.backend)
             .solve()
             .expect("heuristic solve under the default budget is infallible");
         Self { inner, method, retry, beta, last_known_good, priors }
@@ -578,6 +579,7 @@ impl<'a> RobustController<'a> {
                     .beta(self.beta)
                     .method(method)
                     .budget(budget)
+                    .backend(self.inner.backend)
                     .warm_cache(&mut cache)
                     .recorder(&obs)
                     .solve_with_stats()?;
@@ -801,6 +803,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -829,6 +832,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };

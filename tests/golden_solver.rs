@@ -1,0 +1,132 @@
+//! Golden regression fixtures for the TE solver.
+//!
+//! Canonical instances (B4 and the Abilene-sized IBM WAN) are solved
+//! under **both** LP backends and compared against committed expected
+//! objectives and allocation vectors, so figure-level numbers
+//! (`bench/figures.rs` feeds from the same solver) cannot drift
+//! silently — a pricing, presolve or factorization change that moves
+//! the optimum shows up as a fixture diff, not as a mystery in a plot.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p prete-bench --test golden_solver
+//! ```
+//!
+//! and commit the rewritten `tests/fixtures/golden_*.json`.
+
+use prete_core::prelude::{SolveMethod, SolverBackend, TeProblem, TeSolver};
+use prete_core::scenario::ScenarioSet;
+use prete_topology::{topologies, Network, TunnelSet};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One backend's expected optimum on a canonical instance.
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenBackend {
+    max_loss: f64,
+    allocation: Vec<f64>,
+}
+
+/// A committed fixture: one topology, every backend.
+#[derive(Debug, Serialize, Deserialize)]
+struct Golden {
+    topology: String,
+    dense: GoldenBackend,
+    sparse: GoldenBackend,
+}
+
+/// Objectives must match to this relative tolerance; the solver is
+/// deterministic, so real drift overshoots this by orders of
+/// magnitude while cross-platform rounding stays well under it.
+const OBJ_TOL: f64 = 1e-9;
+/// Per-entry allocation tolerance (Gbps).
+const ALLOC_TOL: f64 = 1e-7;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(format!("golden_{name}.json"))
+}
+
+/// The canonical instance: the figure pipeline's seed and load, one
+/// simultaneous failure, deterministic per-fiber probabilities.
+fn solve(net: &Network, backend: SolverBackend) -> GoldenBackend {
+    let flows = topologies::flows_for(net, 0.08, 42);
+    let tunnels = TunnelSet::initialize(net, &flows, 4);
+    let probs: Vec<f64> =
+        (0..net.fibers().len()).map(|i| 0.005 * (1.0 + (i % 5) as f64)).collect();
+    let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+    let problem = TeProblem::new(net, &flows, &tunnels, &scenarios);
+    let sol = TeSolver::new(&problem)
+        .beta(0.999)
+        .method(SolveMethod::Heuristic)
+        .backend(backend)
+        .solve()
+        .expect("canonical instance is solvable");
+    GoldenBackend { max_loss: sol.max_loss, allocation: sol.allocation }
+}
+
+fn check(name: &str, net: &Network) {
+    let got = Golden {
+        topology: name.to_string(),
+        dense: solve(net, SolverBackend::DenseTableau),
+        sparse: solve(net, SolverBackend::SparseRevised),
+    };
+    let path = fixture_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        let json = serde_json::to_string_pretty(&got).expect("serialize fixture");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
+        std::fs::write(&path, json).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_BLESS=1 cargo test -p prete-bench \
+             --test golden_solver to create it",
+            path.display()
+        )
+    });
+    let want: Golden = serde_json::from_str(&text).expect("parse fixture");
+    for (label, w, g) in
+        [("dense", &want.dense, &got.dense), ("sparse", &want.sparse, &got.sparse)]
+    {
+        let scale = 1.0 + w.max_loss.abs();
+        assert!(
+            (g.max_loss - w.max_loss).abs() <= OBJ_TOL * scale,
+            "{name}/{label}: max_loss drifted: expected {}, got {}",
+            w.max_loss,
+            g.max_loss
+        );
+        assert_eq!(
+            g.allocation.len(),
+            w.allocation.len(),
+            "{name}/{label}: allocation length changed"
+        );
+        for (t, (gv, wv)) in g.allocation.iter().zip(&w.allocation).enumerate() {
+            assert!(
+                (gv - wv).abs() <= ALLOC_TOL,
+                "{name}/{label}: allocation[{t}] drifted: expected {wv}, got {gv}"
+            );
+        }
+    }
+    // The two backends agree with each other, not just with history.
+    let scale = 1.0 + got.dense.max_loss.abs();
+    assert!(
+        (got.dense.max_loss - got.sparse.max_loss).abs() <= 1e-6 * scale,
+        "backends disagree on {name}: dense {} vs sparse {}",
+        got.dense.max_loss,
+        got.sparse.max_loss
+    );
+}
+
+#[test]
+fn golden_b4_matches_committed_fixture() {
+    check("b4", &topologies::b4());
+}
+
+#[test]
+fn golden_ibm_matches_committed_fixture() {
+    check("ibm", &topologies::ibm());
+}

@@ -523,6 +523,7 @@ proptest! {
                 predictor: &predictor,
                 scheme: &scheme,
                 latency: LatencyModel::default(),
+                backend: Default::default(),
                 cache: Default::default(),
                 obs: obs.clone(),
             };
@@ -589,6 +590,7 @@ proptest! {
                     predictor: &predictor,
                     scheme: &scheme,
                     latency: LatencyModel::default(),
+                    backend: Default::default(),
                     cache: Default::default(),
                     obs: Default::default(),
                 },
@@ -645,5 +647,153 @@ proptest! {
             let fp = fp.expect("every epoch was executed exactly once");
             prop_assert_eq!(&fp, &golden_fps[e], "epoch {} diverged after recovery", e);
         }
+    }
+}
+
+/// Deterministic degenerate-LP generator: a covering program whose
+/// rows share a single rhs and unit coefficients (massively tied
+/// ratio tests), with every row duplicated and objective costs drawn
+/// from a two-value set (tied reduced costs). Classic cycling bait.
+fn degenerate_lp(n: usize, m: usize, dup: usize, seed: u64) -> prete_lp::LinearProgram {
+    use prete_lp::{LinearProgram, Sense};
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut bit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state & 1 == 0
+    };
+    let mut lp = LinearProgram::new();
+    let xs: Vec<_> = (0..n).map(|j| lp.add_var(0.0, f64::INFINITY, 1.0 + (j % 2) as f64)).collect();
+    for i in 0..m {
+        let mut terms: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (i + j) % 3 != 0 || bit())
+            .map(|(_, &v)| (v, 1.0))
+            .collect();
+        if terms.is_empty() {
+            terms.push((xs[i % n], 1.0));
+        }
+        for _ in 0..=dup {
+            lp.add_constraint(terms.clone(), Sense::Ge, 1.0);
+        }
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Anti-cycling: degenerate programs full of tied ratio tests and
+    /// tied reduced costs terminate under the pivot cap on *both*
+    /// backends — the Bland's-rule fallback must break every cycle —
+    /// and the backends agree on the optimum.
+    #[test]
+    fn degenerate_lps_terminate_under_pivot_cap(
+        n in 2usize..8,
+        m in 2usize..10,
+        dup in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        use prete_lp::{solve_with, SimplexOptions, SolveStatus, SolverBackend};
+        let lp = degenerate_lp(n, m, dup, seed);
+        // A cap far below the default: a cycle would spin to the
+        // limit, an anti-cycled run finishes in at most a few dozen
+        // pivots on programs this size.
+        let opts = |backend| SimplexOptions {
+            backend,
+            max_iterations: 5_000,
+            stall_threshold: 3,
+            ..Default::default()
+        };
+        let dense = solve_with(&lp, opts(SolverBackend::DenseTableau));
+        let sparse = solve_with(&lp, opts(SolverBackend::SparseRevised));
+        prop_assert!(dense.status != SolveStatus::IterationLimit, "dense hit the pivot cap");
+        prop_assert!(sparse.status != SolveStatus::IterationLimit, "sparse hit the pivot cap");
+        prop_assert_eq!(dense.status, sparse.status);
+        if dense.status == SolveStatus::Optimal {
+            let scale = 1.0 + dense.objective.abs().max(sparse.objective.abs());
+            prop_assert!(
+                (dense.objective - sparse.objective).abs() <= 1e-6 * scale,
+                "dense {} vs sparse {}", dense.objective, sparse.objective
+            );
+        }
+    }
+
+    /// Sparse warm-start counterpart of
+    /// [`warm_resolve_matches_cold_after_perturbation`]: with the
+    /// backend pinned to `SparseRevised`, a warm re-solve after a
+    /// demand perturbation matches a cold solve of the perturbed
+    /// problem within LP tolerance, and warm solving is *bit-identical*
+    /// across repeated runs from the same cache snapshot — the warm
+    /// path may never introduce nondeterminism.
+    #[test]
+    fn sparse_warm_resolve_matches_cold_and_is_deterministic(
+        n in 4usize..7,
+        chords in prop::collection::vec((0usize..16, 0usize..8), 1..4),
+        seed in 0u64..1000,
+        wobble in prop::collection::vec(0.95f64..1.05, 24),
+        beta in 0.95f64..0.999,
+    ) {
+        use prete_core::prelude::{BasisCache, SolveMethod, SolverBackend, TeProblem, TeSolver};
+        use prete_core::scenario::ScenarioSet;
+        use prete_topology::{topologies, TunnelSet};
+
+        let net = random_wan(n, &chords);
+        let base_flows = topologies::flows_for(&net, 0.1, seed);
+        let tunnels = TunnelSet::initialize(&net, &base_flows, 3);
+        let probs: Vec<f64> =
+            (0..net.fibers().len()).map(|i| 0.005 * (1.0 + (i % 5) as f64)).collect();
+        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+
+        let mut cache = BasisCache::new();
+        {
+            let problem = TeProblem::new(&net, &base_flows, &tunnels, &scenarios);
+            let _ = TeSolver::new(&problem)
+                .beta(beta)
+                .method(SolveMethod::Heuristic)
+                .backend(SolverBackend::SparseRevised)
+                .warm_cache(&mut cache)
+                .solve()
+                .expect("solvable");
+        }
+        let snap = cache.snapshot();
+        let mut flows = base_flows.clone();
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.demand_gbps *= wobble[i % wobble.len()];
+        }
+        let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let warm_run = |cache: &mut BasisCache| {
+            TeSolver::new(&problem)
+                .beta(beta)
+                .method(SolveMethod::Heuristic)
+                .backend(SolverBackend::SparseRevised)
+                .warm_cache(cache)
+                .solve_with_stats()
+                .expect("solvable")
+        };
+        let (warm, stats) = warm_run(&mut cache);
+        let cold = TeSolver::new(&problem)
+            .beta(beta)
+            .method(SolveMethod::Heuristic)
+            .backend(SolverBackend::SparseRevised)
+            .solve()
+            .expect("solvable");
+        prop_assert!(stats.warm_hits > 0, "perturbed re-solve never hit the cache");
+        prop_assert!(
+            (warm.max_loss - cold.max_loss).abs() < 1e-6,
+            "warm {} vs cold {}", warm.max_loss, cold.max_loss
+        );
+        // Bit-identity: replay the warm solve from an identical cache
+        // snapshot; every allocation and the loss must match exactly.
+        let mut cache2 = BasisCache::new();
+        cache2.restore(&snap);
+        let (warm2, _) = warm_run(&mut cache2);
+        prop_assert_eq!(warm.max_loss.to_bits(), warm2.max_loss.to_bits());
+        prop_assert!(
+            warm.allocation.iter().zip(&warm2.allocation).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "warm replay diverged bitwise"
+        );
     }
 }
