@@ -18,8 +18,9 @@ use prete_nn::Predictor;
 use prete_optical::DegradationEvent;
 use prete_sim::latency::LatencyModel;
 use prete_sim::{
-    chaos_soak, ChaosPlan, CheckpointError, Controller, RetryPolicy, RobustController,
-    ScriptedWorkload, SoakReport,
+    chaos_soak, fleet_chaos_soak, ChaosPlan, CheckpointError, Controller, FleetChaosPlan,
+    FleetConfig, FleetSoakReport, RetryPolicy, RobustController, ScriptedWorkload, SoakReport,
+    TenantSpec,
 };
 use prete_topology::{topologies, Network};
 use std::fmt::Write as _;
@@ -52,6 +53,7 @@ pub fn soak_on(net: &Network, flow_frac: f64, plan: &ChaosPlan) -> Result<SoakRe
                 predictor: &predictor,
                 scheme: &scheme,
                 latency: LatencyModel::default(),
+                threads: 0,
                 backend: Default::default(),
                 cache: Default::default(),
                 obs: Default::default(),
@@ -75,6 +77,149 @@ pub fn soak_on(net: &Network, flow_frac: f64, plan: &ChaosPlan) -> Result<SoakRe
 /// same scaling the run-report experiments use.
 pub fn soak_wan(plan: &ChaosPlan) -> Result<SoakReport, CheckpointError> {
     soak_on(&topologies::twan(), 0.02, plan)
+}
+
+/// Everything one fleet tenant borrows: its own topology, failure
+/// model, flows, tunnels, scheme and predictor. Built once, outlives
+/// the soak (every [`TenantSpec`] borrows from it).
+pub struct TenantLeaves {
+    /// Tenant name, e.g. `b4-0`.
+    pub name: String,
+    /// Seed of the tenant's durable seed stream.
+    pub run_seed: u64,
+    net: Network,
+    model: FailureModel,
+    flows: Vec<Flow>,
+    tunnels: TunnelSet,
+    scheme: PreTeScheme,
+    predictor: ConstPredictor,
+}
+
+/// Builds leaves for a `tenants`-wide fleet alternating the B4 and IBM
+/// topologies — each tenant gets its own failure model, flow set and
+/// seed stream, so no two tenants share any mutable state.
+pub fn mixed_tenant_leaves(tenants: usize, flow_frac: f64, seed: u64) -> Vec<TenantLeaves> {
+    (0..tenants)
+        .map(|i| {
+            let (kind, net) =
+                if i % 2 == 0 { ("b4", topologies::b4()) } else { ("ibm", topologies::ibm()) };
+            let tenant_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let model = FailureModel::new(&net, tenant_seed);
+            let flows = topologies::flows_for(&net, flow_frac, tenant_seed);
+            let tunnels = TunnelSet::initialize(&net, &flows, 2);
+            let truth = TrueConditionals::ground_truth(&net, &model, 40, 1);
+            let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
+            TenantLeaves {
+                name: format!("{kind}-{i}"),
+                run_seed: tenant_seed ^ 0xf1ee,
+                net,
+                model,
+                flows,
+                tunnels,
+                scheme,
+                predictor: ConstPredictor(0.8),
+            }
+        })
+        .collect()
+}
+
+/// Runs one fleet chaos soak over pre-built tenant leaves. Same solver
+/// shape as [`soak_on`] (heuristic method, warm cache, default retry),
+/// one durable controller per tenant.
+pub fn fleet_soak_over(
+    leaves: &[TenantLeaves],
+    checkpoint_every: u64,
+    cfg: &FleetConfig,
+    plan: &FleetChaosPlan,
+) -> Result<FleetSoakReport, CheckpointError> {
+    let mk_specs = || {
+        leaves
+            .iter()
+            .map(|l| {
+                let mut spec = TenantSpec::new(
+                    l.name.clone(),
+                    move || {
+                        RobustController::new(
+                            Controller {
+                                net: &l.net,
+                                model: &l.model,
+                                flows: &l.flows,
+                                base_tunnels: &l.tunnels,
+                                predictor: &l.predictor,
+                                scheme: &l.scheme,
+                                latency: LatencyModel::default(),
+                                threads: 0,
+                                backend: Default::default(),
+                                cache: Default::default(),
+                                obs: Default::default(),
+                            },
+                            SolveMethod::Heuristic,
+                            RetryPolicy::default(),
+                            0.99,
+                        )
+                    },
+                    ScriptedWorkload::new(l.net.fibers().len()),
+                    l.run_seed,
+                );
+                spec.checkpoint_every = checkpoint_every;
+                spec
+            })
+            .collect()
+    };
+    fleet_chaos_soak(&mk_specs, cfg, plan)
+}
+
+/// Renders one fleet soak as a text summary.
+pub fn render_fleet_soak(report: &FleetSoakReport) -> String {
+    let mut s = String::new();
+    let p = &report.plan;
+    let _ = writeln!(
+        s,
+        "Fleet chaos soak: seed={} tenants={} epochs={} rounds={} crash_prob={} floor={}",
+        p.seed, report.tenants, p.epochs, report.rounds, p.crash_prob, p.availability_floor
+    );
+    let _ = writeln!(
+        s,
+        "  recoveries={} quarantined={} events_injected={}",
+        report.fleet.recoveries,
+        report.fleet.quarantined,
+        report.events_injected.len()
+    );
+    for t in &report.fleet.tenants {
+        let _ = writeln!(
+            s,
+            "  tenant {}: epochs={} executions={} recoveries={} digest={:016x}{}",
+            t.name,
+            t.epochs,
+            t.executions,
+            t.recoveries,
+            t.fingerprint_digest,
+            t.quarantined
+                .as_deref()
+                .map(|r| format!(" QUARANTINED: {r}"))
+                .unwrap_or_default()
+        );
+    }
+    match (&report.violation, &report.shrunk) {
+        (Some(v), shrunk) => {
+            let _ = writeln!(
+                s,
+                "  VIOLATION [{}] tenant {} ({}) epoch {} under {:?}: {}",
+                v.invariant, v.tenant, v.name, v.epoch, v.event, v.detail
+            );
+            if let Some(m) = shrunk {
+                let _ = writeln!(
+                    s,
+                    "  minimal repro: seed={} tenant={} epoch={} event={:?} invariant={}",
+                    m.seed, m.tenant, m.epoch, m.event, m.invariant
+                );
+            }
+        }
+        (None, _) => {
+            let _ = writeln!(s, "  OK: all tenants isolated and bit-identical");
+        }
+    }
+    s
 }
 
 /// Renders one soak as a text summary: the plan, the injected events,
@@ -139,5 +284,26 @@ mod tests {
         assert!(report.executions >= 4);
         let text = render_soak(&report);
         assert!(text.contains("OK: all invariants held"), "{text}");
+    }
+
+    #[test]
+    fn mixed_fleet_soak_is_clean_and_renders() {
+        let leaves = mixed_tenant_leaves(2, 0.05, SEED);
+        assert_eq!(leaves[0].name, "b4-0");
+        assert_eq!(leaves[1].name, "ibm-1");
+        let plan = prete_sim::FleetChaosPlan {
+            crash_prob: 0.5,
+            ..prete_sim::FleetChaosPlan::new(SEED, 3)
+        };
+        let report =
+            fleet_soak_over(&leaves, 3, &FleetConfig::default(), &plan).expect("fleet soak runs");
+        assert!(report.violation.is_none(), "violation: {:?}", report.violation);
+        for t in &report.fleet.tenants {
+            assert_eq!(t.epochs, 3, "{} unfinished", t.name);
+            assert_eq!(t.quarantined, None);
+        }
+        let text = render_fleet_soak(&report);
+        assert!(text.contains("OK: all tenants isolated"), "{text}");
+        assert!(text.contains("tenant b4-0"), "{text}");
     }
 }

@@ -67,6 +67,7 @@ fn replay_epochs(net: &Network, flow_frac: f64, epochs: usize, obs: &Recorder) -
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
+        threads: 0,
         backend: Default::default(),
         cache: Default::default(),
         obs: obs.clone(),

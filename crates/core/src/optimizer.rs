@@ -310,6 +310,8 @@ pub struct SolverStats {
     pub warm_misses: usize,
     /// Rhs-only dual-simplex re-solves inside the Benders loop.
     pub rhs_resolves: usize,
+    /// Warm-basis cache entries evicted (LRU) during this solve.
+    pub cache_evictions: usize,
     /// Basis LU (re)factorizations in the sparse engine (0 under the
     /// dense backend).
     pub refactorizations: u64,
@@ -341,6 +343,7 @@ impl SolverStats {
         self.warm_hits += other.warm_hits;
         self.warm_misses += other.warm_misses;
         self.rhs_resolves += other.rhs_resolves;
+        self.cache_evictions += other.cache_evictions;
         self.refactorizations += other.refactorizations;
         self.etas += other.etas;
         self.fill_in += other.fill_in;
@@ -377,12 +380,16 @@ impl SolverStats {
         rec.add("solver.warm_hits", self.warm_hits as u64);
         rec.add("solver.warm_misses", self.warm_misses as u64);
         rec.add("solver.rhs_resolves", self.rhs_resolves as u64);
+        rec.add("solver.cache_evictions", self.cache_evictions as u64);
         rec.add("solver.refactorizations", self.refactorizations);
         rec.add("solver.etas", self.etas);
         rec.add("solver.fill_in", self.fill_in);
         rec.add("solver.dense_fallbacks", self.dense_fallbacks as u64);
-        rec.gauge("solver.threads", self.threads as f64);
         if !rec.is_deterministic() {
+            // The thread count is an execution parameter like the wall
+            // times: deterministic reports must be identical across
+            // thread counts, so neither belongs there.
+            rec.gauge("solver.threads", self.threads as f64);
             rec.observe("solver.total_ms", self.total_ms);
             rec.observe("solver.subproblem_ms", self.subproblem_ms);
             rec.observe("solver.master_ms", self.master_ms);
@@ -404,6 +411,7 @@ impl PartialEq for SolverStats {
             && self.warm_hits == other.warm_hits
             && self.warm_misses == other.warm_misses
             && self.rhs_resolves == other.rhs_resolves
+            && self.cache_evictions == other.cache_evictions
             && self.refactorizations == other.refactorizations
             && self.etas == other.etas
             && self.fill_in == other.fill_in
@@ -543,6 +551,7 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         let span = recorder.span("solve");
         let threads = effective_threads(self.threads);
         recorder.event_with("solver-backend", || format!("{:?}", self.backend));
+        let evictions_before = self.cache.as_ref().map_or(0, |c| c.evictions());
         let mut ctx = SolveCtx {
             problem: self.problem,
             threads,
@@ -582,6 +591,9 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
             }
         };
         ctx.stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(cache) = ctx.cache.as_ref() {
+            ctx.stats.cache_evictions = cache.evictions() - evictions_before;
+        }
         drop(span);
         ctx.stats.publish(&recorder);
         if let Err(e) = &result {
@@ -599,7 +611,7 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
 /// machine. The controller converts its wall-clock deadline into work
 /// units once, up front, via its latency model.
 #[must_use]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, serde::Deserialize)]
 pub struct SolveBudget {
     /// Maximum branch-and-bound nodes for a MIP solve.
     pub max_mip_nodes: usize,
@@ -1594,6 +1606,7 @@ mod tests {
             warm_hits: 2,
             warm_misses: 1,
             rhs_resolves: 5,
+            cache_evictions: 3,
             refactorizations: 11,
             etas: 57,
             fill_in: 204,
@@ -1614,6 +1627,7 @@ mod tests {
             r#""warm_hits":2"#,
             r#""warm_misses":1"#,
             r#""rhs_resolves":5"#,
+            r#""cache_evictions":3"#,
             r#""refactorizations":11"#,
             r#""etas":57"#,
             r#""fill_in":204"#,
@@ -1651,6 +1665,38 @@ mod tests {
         assert_ne!(base, SolverStats { pivots: 101, ..base.clone() });
         assert_ne!(base, SolverStats { warm_hits: 2, ..base.clone() });
         assert_ne!(base, SolverStats { rhs_resolves: 0, ..base.clone() });
+    }
+
+    #[test]
+    fn bounded_cache_evictions_surface_in_stats() {
+        let (net, flows, tunnels, scenarios) = triangle_problem(&TRIANGLE_PROBS);
+        let p = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+        let solve = |cache: &mut BasisCache| {
+            TeSolver::new(&p)
+                .beta(0.99)
+                .method(SolveMethod::benders())
+                .threads(1)
+                .warm_cache(cache)
+                .solve_with_stats()
+                .unwrap()
+                .1
+        };
+        // Unbounded baseline: no evictions, and the solve wants more
+        // than one cached basis (one per Benders subproblem family).
+        let mut unbounded = BasisCache::new();
+        let base = solve(&mut unbounded);
+        assert_eq!(base.cache_evictions, 0);
+        let keys = unbounded.len();
+        assert!(keys > 1, "expected multiple cached bases, got {keys}");
+        // Capacity 1 forces LRU churn; the delta lands in the stats.
+        let mut bounded = BasisCache::with_capacity(1);
+        let stats = solve(&mut bounded);
+        assert_eq!(stats.cache_evictions, bounded.evictions());
+        assert!(stats.cache_evictions >= keys - 1);
+        assert!(bounded.len() <= 1);
+        // Eviction counts are work units: bit-identical across runs.
+        let mut again = BasisCache::with_capacity(1);
+        assert_eq!(solve(&mut again), stats);
     }
 
     #[test]

@@ -539,6 +539,7 @@ mod tests {
                         predictor: &predictor,
                         scheme: &scheme,
                         latency: LatencyModel::default(),
+                        threads: 0,
                         backend: Default::default(),
                         cache: Default::default(),
                         obs: Default::default(),

@@ -46,7 +46,9 @@ use std::path::{Path, PathBuf};
 /// genesis.
 ///
 /// v2: added the `backend` field (LP engine choice survives restarts).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// v3: `basis_cache` carries LRU recency/capacity/eviction state (the
+/// bounded cache must resume the exact eviction stream).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Storage backends
@@ -163,10 +165,27 @@ impl Store for FileStore {
     }
 
     fn save_checkpoint(&mut self, json: &str) -> Result<(), StoreError> {
+        // Write-fsync-rename: the rename must not be allowed to land
+        // before the tmp file's *contents* are durable, or a power cut
+        // can leave a fully-renamed checkpoint full of zero pages —
+        // exactly the torn state the tmp file exists to prevent.
         let tmp = self.dir.join("checkpoint.json.tmp");
-        std::fs::write(&tmp, json).map_err(|e| StoreError(format!("write checkpoint: {e}")))?;
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| StoreError(format!("create checkpoint tmp: {e}")))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| StoreError(format!("write checkpoint: {e}")))?;
+        f.sync_all().map_err(|e| StoreError(format!("fsync checkpoint: {e}")))?;
+        drop(f);
         std::fs::rename(&tmp, self.checkpoint_path())
-            .map_err(|e| StoreError(format!("install checkpoint: {e}")))
+            .map_err(|e| StoreError(format!("install checkpoint: {e}")))?;
+        // Make the rename itself durable. Not all platforms allow
+        // fsync on a directory handle; failing that is non-fatal (the
+        // data is safe, only the name could revert to the previous —
+        // also valid — checkpoint).
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
     }
 
     fn journal(&self) -> Result<Vec<String>, StoreError> {
@@ -183,7 +202,10 @@ impl Store for FileStore {
             .append(true)
             .open(self.journal_path())
             .map_err(|e| StoreError(format!("open journal: {e}")))?;
-        writeln!(f, "{line}").map_err(|e| StoreError(format!("append journal: {e}")))
+        writeln!(f, "{line}").map_err(|e| StoreError(format!("append journal: {e}")))?;
+        // The journal is the write-ahead log: the epoch only executes
+        // after its record is durable.
+        f.sync_all().map_err(|e| StoreError(format!("fsync journal: {e}")))
     }
 
     fn truncate_journal(&mut self, keep: usize) -> Result<(), StoreError> {
@@ -242,7 +264,7 @@ pub struct ControllerCheckpoint {
     pub digest: u64,
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -323,6 +345,19 @@ pub trait EpochWorkload {
     fn plan(&self, epoch: u64, fault_seed: u64) -> FaultPlan;
 }
 
+/// References forward to the referent, so `&dyn EpochWorkload` (how
+/// the fleet runtime holds heterogeneous tenant workloads) satisfies
+/// the `impl EpochWorkload` bounds on [`DurableController`].
+impl<W: EpochWorkload + ?Sized> EpochWorkload for &W {
+    fn trace(&self, epoch: u64, trace_seed: u64) -> LossTrace {
+        (**self).trace(epoch, trace_seed)
+    }
+
+    fn plan(&self, epoch: u64, fault_seed: u64) -> FaultPlan {
+        (**self).plan(epoch, fault_seed)
+    }
+}
+
 /// Configuration of a durable run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DurableConfig {
@@ -366,6 +401,10 @@ impl EpochOutcome {
         report.solver.subproblem_ms = 0.0;
         report.solver.master_ms = 0.0;
         report.solver.polish_ms = 0.0;
+        // Like the wall times, the thread count is an execution
+        // parameter, not a result: runs at different thread counts
+        // must fingerprint identically.
+        report.solver.threads = 0;
         Ok((encode(&report)?, self.run.to_json()))
     }
 }
@@ -665,6 +704,7 @@ mod tests {
                         predictor: &predictor,
                         scheme: &scheme,
                         latency: LatencyModel::default(),
+                        threads: 0,
                         backend: Default::default(),
                         cache: Default::default(),
                         obs: Default::default(),
@@ -739,6 +779,62 @@ mod tests {
         store.save_checkpoint("{\"a\":2}").unwrap();
         assert_eq!(store.load_checkpoint().unwrap().as_deref(), Some("{\"a\":2}"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_recovers_from_journal() {
+        testbed!(mk);
+        let w = ScriptedWorkload::new(3);
+        let (mut golden, _) =
+            DurableController::recover(mk(), MemStore::default(), CFG, &w).unwrap();
+        let golden_fp: Vec<_> =
+            (0..6).map(|_| fingerprint(&golden.run_epoch(&w).unwrap())).collect();
+
+        let dir = std::env::temp_dir()
+            .join(format!("prete-truncated-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut durable, _) =
+            DurableController::recover(mk(), FileStore::open(&dir).unwrap(), CFG, &w).unwrap();
+        for (e, want) in golden_fp.iter().enumerate().take(5) {
+            let out = durable.run_epoch(&w).unwrap();
+            assert_eq!(&fingerprint(&out), want, "epoch {e} diverged pre-crash");
+        }
+        drop(durable); // crash: only the files survive
+
+        // Torn write: the checkpoint file is cut mid-byte (the shape a
+        // power loss without the fsync-before-rename could leave).
+        let path = dir.join("checkpoint.json");
+        let blob = std::fs::read(&path).unwrap();
+        assert!(blob.len() > 2, "checkpoint must exist to be torn");
+        std::fs::write(&path, &blob[..blob.len() / 2]).unwrap();
+
+        let (mut recovered, rec) =
+            DurableController::recover(mk(), FileStore::open(&dir).unwrap(), CFG, &w).unwrap();
+        assert!(rec.checkpoint_rejected, "half a checkpoint must be rejected");
+        assert_eq!(rec.checkpoint_epoch, None);
+        assert_eq!(rec.resumed_at, 5);
+        assert_eq!(rec.reexecuted.len(), 5, "journal replays from genesis");
+        for (i, out) in rec.reexecuted.iter().enumerate() {
+            assert_eq!(fingerprint(out), golden_fp[i], "re-executed epoch {i} diverged");
+        }
+        let out = recovered.run_epoch(&w).unwrap();
+        assert_eq!(fingerprint(&out), golden_fp[5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dyn_workload_references_satisfy_the_bounds() {
+        testbed!(mk);
+        let boxed: Box<dyn EpochWorkload> = Box::new(ScriptedWorkload::new(3));
+        let w: &dyn EpochWorkload = boxed.as_ref();
+        let (mut durable, _) =
+            DurableController::recover(mk(), MemStore::default(), CFG, &w).unwrap();
+        let via_dyn = fingerprint(&durable.run_epoch(&w).unwrap());
+        // Identical to driving the sized workload directly.
+        let sized = ScriptedWorkload::new(3);
+        let (mut direct, _) =
+            DurableController::recover(mk(), MemStore::default(), CFG, &sized).unwrap();
+        assert_eq!(via_dyn, fingerprint(&direct.run_epoch(&sized).unwrap()));
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct Controller<'a> {
     pub scheme: &'a dyn TeScheme,
     /// Stage latencies.
     pub latency: LatencyModel,
+    /// Worker threads for the TE recompute (`0` = auto). Thread count
+    /// never changes solver *results* (bit-identity across thread
+    /// counts is a repo invariant), only wall-clock.
+    pub threads: usize,
     /// LP engine for the TE recompute (default
     /// [`SolverBackend::SparseRevised`]; the dense tableau is the
     /// automatic fallback). Checkpoints record the choice so a restored
@@ -183,6 +187,7 @@ impl<'a> Controller<'a> {
             let (sol, stats) = TeSolver::new(&problem)
                 .beta(0.99)
                 .method(SolveMethod::Heuristic)
+                .threads(self.threads)
                 .backend(self.backend)
                 .warm_cache(&mut cache)
                 .recorder(&self.obs)
@@ -302,6 +307,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            threads: 0,
             backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
@@ -367,6 +373,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            threads: 0,
             backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
@@ -399,6 +406,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            threads: 0,
             backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),

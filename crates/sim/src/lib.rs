@@ -32,7 +32,11 @@
 //!   checkpoints plus a write-ahead epoch journal, with bit-identical
 //!   recovery;
 //! * [`chaos`] — the chaos-soak harness: seeded kill/restart
-//!   schedules, per-epoch invariant checking, and repro shrinking.
+//!   schedules, per-epoch invariant checking, and repro shrinking;
+//! * [`fleet`] — the multi-tenant controller fleet: admission control
+//!   and overload shedding under a shared work-unit budget, per-tenant
+//!   fault isolation with recovery and quarantine, a watchdog feeding
+//!   the degraded-mode ladder, and a fleet-wide chaos soak.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod controller;
 pub mod faults;
+pub mod fleet;
 pub mod latency;
 pub mod production;
 pub mod robust;
@@ -58,6 +63,11 @@ pub use controller::{Controller, ControllerEvent, ControllerReport};
 pub use faults::{
     FaultInjector, FaultPersistence, FaultPlan, PredictorFaultKind, PredictorFaults,
     SolverFaultKind, SolverFaults, TelemetryFaults, TunnelFaults, TunnelOutcome,
+};
+pub use fleet::{
+    fleet_chaos_soak, work_units, Fleet, FleetChaosEvent, FleetChaosPlan, FleetConfig,
+    FleetReport, FleetShrunkRepro, FleetSoakReport, FleetViolation, RoundOutcome, ShedCounts,
+    ShedDecision, ShedRecord, TenantSpec, TenantSummary, WatchdogTrip,
 };
 pub use latency::{LatencyModel, PipelineTiming};
 pub use production::{replay_production_case, ProductionOutcome};
@@ -77,6 +87,10 @@ pub mod prelude {
     };
     pub use crate::controller::{Controller, ControllerEvent, ControllerReport};
     pub use crate::faults::FaultPlan;
+    pub use crate::fleet::{
+        fleet_chaos_soak, Fleet, FleetChaosPlan, FleetConfig, FleetReport, ShedDecision,
+        TenantSpec,
+    };
     pub use crate::latency::{LatencyModel, PipelineTiming};
     pub use crate::robust::{
         budget_from_latency, DegradedMode, RetryPolicy, RobustController, RobustReport,

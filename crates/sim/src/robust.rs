@@ -350,6 +350,14 @@ pub struct RobustController<'a> {
     /// probability assumed for a degraded fiber when no model is
     /// usable. Part of the durable controller state.
     priors: Vec<f64>,
+    /// When set, replaces the latency-derived [`SolveBudget`] for the
+    /// next replays. The fleet scheduler uses this to shed load by
+    /// degrading a tenant's epoch to a tighter budget (driving the
+    /// solve into the heuristic/last-known-good fallback chain) without
+    /// rebuilding the controller. Scheduling state, not durable state:
+    /// it is not journaled, so a crash mid-degraded-epoch re-executes
+    /// at the canonical latency-derived budget.
+    pub budget_override: Option<SolveBudget>,
 }
 
 impl<'a> RobustController<'a> {
@@ -370,10 +378,11 @@ impl<'a> RobustController<'a> {
         let last_known_good = TeSolver::new(&problem)
             .beta(beta)
             .method(SolveMethod::Heuristic)
+            .threads(inner.threads)
             .backend(inner.backend)
             .solve()
             .expect("heuristic solve under the default budget is infallible");
-        Self { inner, method, retry, beta, last_known_good, priors }
+        Self { inner, method, retry, beta, last_known_good, priors, budget_override: None }
     }
 
     /// The standing policy used when every solve fallback fails.
@@ -565,7 +574,8 @@ impl<'a> RobustController<'a> {
             let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
             let problem =
                 TeProblem::new(self.inner.net, self.inner.flows, &tunnel_plan.tunnels, &scenarios);
-            let budget = budget_from_latency(&self.inner.latency);
+            let budget =
+                self.budget_override.unwrap_or_else(|| budget_from_latency(&self.inner.latency));
 
             let mut attempt = |method: SolveMethod| -> Result<TeSolution, TeSolveError> {
                 if let Some(kind) = inj.next_solver_fault() {
@@ -579,6 +589,7 @@ impl<'a> RobustController<'a> {
                     .beta(self.beta)
                     .method(method)
                     .budget(budget)
+                    .threads(self.inner.threads)
                     .backend(self.inner.backend)
                     .warm_cache(&mut cache)
                     .recorder(&obs)
@@ -803,6 +814,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            threads: 0,
             backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
@@ -832,6 +844,7 @@ mod tests {
             predictor: &predictor,
             scheme: &scheme,
             latency: LatencyModel::default(),
+            threads: 0,
             backend: Default::default(),
             cache: Default::default(),
             obs: Default::default(),

@@ -63,6 +63,7 @@ fn main() {
         predictor: &nn,
         scheme: &scheme,
         latency: LatencyModel::default(),
+        threads: 0,
         backend: Default::default(),
         cache: Default::default(),
         obs: obs.clone(),

@@ -47,6 +47,7 @@ fn main() {
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
+        threads: 0,
         backend: Default::default(),
         cache: Default::default(),
         obs: Default::default(),

@@ -40,6 +40,7 @@ fn controller_prepares_before_cut_on_b4() {
         predictor: &predictor,
         scheme: &scheme,
         latency: LatencyModel::default(),
+        threads: 0,
         backend: Default::default(),
         cache: Default::default(),
         obs: Default::default(),

@@ -523,6 +523,7 @@ proptest! {
                 predictor: &predictor,
                 scheme: &scheme,
                 latency: LatencyModel::default(),
+                threads: 0,
                 backend: Default::default(),
                 cache: Default::default(),
                 obs: obs.clone(),
@@ -590,6 +591,7 @@ proptest! {
                     predictor: &predictor,
                     scheme: &scheme,
                     latency: LatencyModel::default(),
+                    threads: 0,
                     backend: Default::default(),
                     cache: Default::default(),
                     obs: Default::default(),
