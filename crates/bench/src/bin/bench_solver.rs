@@ -4,6 +4,8 @@
 //! ```text
 //! Usage: bench_solver [--epochs N] [--out FILE] [--min-speedup X]
 //!                     [--backend dense|sparse|both] [--topology twan|b4|ibm]
+//!                     [--pricing dantzig|devex] [--eta-update product-form|forrest-tomlin]
+//!                     [--cold-start auto|two-phase] [--min-polish-speedup X]
 //! ```
 //!
 //! With `--min-speedup X` the process exits non-zero when the
@@ -11,13 +13,25 @@
 //! also exits non-zero when the sparse engine is slower than the dense
 //! one on the `serial-cold` configuration — CI's regression gates.
 //!
+//! `--pricing` / `--eta-update` select the sparse engine's entering
+//! rule and basis-update scheme for every benchmarked row, and
+//! `--cold-start` its cold-solve strategy (the benchmark defaults to
+//! `auto` — dual-simplex cold starts — unlike library callers, for
+//! whom `two-phase` preserves historical pivot paths). With
+//! `--min-polish-speedup X` the binary additionally re-runs the sparse
+//! `serial-cold` workload under the legacy configuration — Dantzig
+//! pricing, product-form etas, primal two-phase cold starts — and
+//! exits non-zero when `legacy polish_ms / configured polish_ms < X`:
+//! the self-relative Forrest–Tomlin + devex + dual-cold-start
+//! regression gate (robust to machine speed).
+//!
 //! Writes the full [`prete_bench::runtime::SolverBench`] record
 //! (per-configuration timings plus merged `SolverStats`) to
 //! `BENCH_solver.json` by default; CI uploads that file as an
 //! artifact.
 
-use prete_bench::runtime::bench_solver_backends;
-use prete_core::prelude::SolverBackend;
+use prete_bench::runtime::{bench_serial_cold_row, bench_solver_matrix};
+use prete_core::prelude::{ColdStart, EtaUpdate, Pricing, SolverBackend};
 use prete_topology::topologies;
 use std::io::Write;
 
@@ -45,9 +59,27 @@ fn main() {
         Some("ibm") => topologies::ibm(),
         Some(other) => panic!("--topology takes twan|b4|ibm, got {other}"),
     };
+    let pricing = match flag("--pricing").as_deref() {
+        None | Some("dantzig") => Pricing::Dantzig,
+        Some("devex") => Pricing::Devex,
+        Some(other) => panic!("--pricing takes dantzig|devex, got {other}"),
+    };
+    let eta_update = match flag("--eta-update").as_deref() {
+        None | Some("product-form") => EtaUpdate::ProductForm,
+        Some("forrest-tomlin" | "ft") => EtaUpdate::ForrestTomlin,
+        Some(other) => panic!("--eta-update takes product-form|forrest-tomlin, got {other}"),
+    };
+    let cold_start = match flag("--cold-start").as_deref() {
+        None | Some("auto") => ColdStart::Auto,
+        Some("two-phase") => ColdStart::TwoPhase,
+        Some(other) => panic!("--cold-start takes auto|two-phase, got {other}"),
+    };
 
-    let bench = bench_solver_backends(&net, epochs, &backends);
-    println!("Solver benchmark: {} epochs on {}", bench.epochs, bench.topology);
+    let bench = bench_solver_matrix(&net, epochs, &backends, pricing, eta_update, cold_start);
+    println!(
+        "Solver benchmark: {} epochs on {} ({pricing:?} pricing, {eta_update:?} updates)",
+        bench.epochs, bench.topology
+    );
     println!(
         "  {:<8} {:<16} {:>7} {:>5} {:>10} {:>10} {:>9} {:>9} {:>7}",
         "backend", "config", "threads", "warm", "total ms", "epoch ms", "lp", "pivots", "hits"
@@ -89,6 +121,31 @@ fn main() {
     if let Some(s) = bench.sparse_speedup {
         if s < 1.0 {
             eprintln!("sparse engine slower than dense: {s:.2}x");
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = flag("--min-polish-speedup") {
+        let min: f64 = min.parse().expect("--min-polish-speedup takes a number");
+        let configured = bench
+            .rows
+            .iter()
+            .find(|r| r.backend == SolverBackend::SparseRevised && r.config == "serial-cold")
+            .expect("--min-polish-speedup needs a sparse serial-cold row");
+        let legacy = bench_serial_cold_row(
+            &net,
+            epochs,
+            Pricing::Dantzig,
+            EtaUpdate::ProductForm,
+            ColdStart::TwoPhase,
+        );
+        let speedup = legacy.stats.polish_ms / configured.stats.polish_ms.max(1e-9);
+        println!(
+            "  polish_ms: legacy Dantzig/ProductForm/TwoPhase {:.1} vs \
+             {pricing:?}/{eta_update:?} {:.1} ({speedup:.2}x)",
+            legacy.stats.polish_ms, configured.stats.polish_ms
+        );
+        if speedup < min {
+            eprintln!("polish speedup {speedup:.2}x below required {min}x");
             std::process::exit(1);
         }
     }

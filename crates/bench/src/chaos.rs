@@ -55,6 +55,8 @@ pub fn soak_on(net: &Network, flow_frac: f64, plan: &ChaosPlan) -> Result<SoakRe
                 latency: LatencyModel::default(),
                 threads: 0,
                 backend: Default::default(),
+                pricing: Default::default(),
+                eta_update: Default::default(),
                 cache: Default::default(),
                 obs: Default::default(),
             },
@@ -150,6 +152,8 @@ pub fn fleet_soak_over(
                                 latency: LatencyModel::default(),
                                 threads: 0,
                                 backend: Default::default(),
+                                pricing: Default::default(),
+                                eta_update: Default::default(),
                                 cache: Default::default(),
                                 obs: Default::default(),
                             },

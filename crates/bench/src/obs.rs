@@ -69,6 +69,8 @@ fn replay_epochs(net: &Network, flow_frac: f64, epochs: usize, obs: &Recorder) -
         latency: LatencyModel::default(),
         threads: 0,
         backend: Default::default(),
+        pricing: Default::default(),
+        eta_update: Default::default(),
         cache: Default::default(),
         obs: obs.clone(),
     };

@@ -195,15 +195,34 @@ pub fn bench_solver_on(net: &prete_topology::Network, epochs: usize) -> SolverBe
     bench_solver_backends(net, epochs, &[SolverBackend::SparseRevised])
 }
 
-/// [`bench_solver`] over an explicit backend list: each backend runs
-/// the full configuration grid, and when both engines are present the
-/// dense-vs-sparse `serial-cold` ratio lands in
-/// [`SolverBench::sparse_speedup`] (CI's engine-regression gate).
+/// [`bench_solver`] over an explicit backend list with the default
+/// (Dantzig / product-form) sparse configuration; see
+/// [`bench_solver_matrix`] for the full signature.
 pub fn bench_solver_backends(
     net: &prete_topology::Network,
     epochs: usize,
     backends: &[SolverBackend],
 ) -> SolverBench {
+    bench_solver_matrix(
+        net,
+        epochs,
+        backends,
+        Pricing::default(),
+        EtaUpdate::default(),
+        ColdStart::default(),
+    )
+}
+
+/// The per-epoch workload every benchmark configuration replays:
+/// jittered demands over a fixed tunnel set and single-cut scenario
+/// enumeration.
+struct Workload {
+    base_flows: Vec<Flow>,
+    tunnels: TunnelSet,
+    scenarios: ScenarioSet,
+}
+
+fn workload(net: &prete_topology::Network) -> Workload {
     let model = FailureModel::new(net, SEED);
     let base_flows = topologies::flows_for(net, 0.08, SEED);
     let tunnels = TunnelSet::initialize(net, &base_flows, 4);
@@ -211,42 +230,120 @@ pub fn bench_solver_backends(
     // Single-cut scenarios with the negligible tail dropped: keeps the
     // LP at WAN scale while the smoke benchmark stays in CI budget.
     let scenarios = ScenarioSet::enumerate(&probs, 1, 1e-4);
+    Workload { base_flows, tunnels, scenarios }
+}
 
-    let run = |backend: SolverBackend, config: &str, threads: usize, warm: bool| -> SolverBenchRow {
-        let mut cache = BasisCache::new();
-        let mut stats = SolverStats::default();
-        let mut max_loss = 0.0f64;
-        let t0 = Instant::now();
-        for epoch in 0..epochs {
-            let mut flows = base_flows.clone();
-            for (i, f) in flows.iter_mut().enumerate() {
-                f.demand_gbps *= demand_jitter(epoch, i);
-            }
-            let cfg = ProblemConfig { precompute_threads: threads, ..Default::default() };
-            let problem = TeProblem::with_config(net, &flows, &tunnels, &scenarios, cfg);
-            let mut solver = TeSolver::new(&problem)
-                .beta(0.999)
-                .method(SolveMethod::Heuristic)
-                .threads(threads)
-                .backend(backend);
-            if warm {
-                solver = solver.warm_cache(&mut cache);
-            }
-            let (sol, s) = solver.solve_with_stats().expect("heuristic solve");
-            stats.merge(&s);
-            max_loss = max_loss.max(sol.max_loss);
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    net: &prete_topology::Network,
+    wl: &Workload,
+    epochs: usize,
+    backend: SolverBackend,
+    config: &str,
+    threads: usize,
+    warm: bool,
+    pricing: Pricing,
+    eta_update: EtaUpdate,
+    cold_start: ColdStart,
+) -> SolverBenchRow {
+    let mut cache = BasisCache::new();
+    let mut stats = SolverStats::default();
+    let mut max_loss = 0.0f64;
+    let t0 = Instant::now();
+    for epoch in 0..epochs {
+        let mut flows = wl.base_flows.clone();
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.demand_gbps *= demand_jitter(epoch, i);
         }
-        let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        SolverBenchRow {
+        let cfg = ProblemConfig { precompute_threads: threads, ..Default::default() };
+        let problem = TeProblem::with_config(net, &flows, &wl.tunnels, &wl.scenarios, cfg);
+        let mut solver = TeSolver::new(&problem)
+            .beta(0.999)
+            .method(SolveMethod::Heuristic)
+            .threads(threads)
+            .backend(backend)
+            .pricing(pricing)
+            .eta_update(eta_update)
+            .cold_start(cold_start);
+        if warm {
+            solver = solver.warm_cache(&mut cache);
+        }
+        let (sol, s) = solver.solve_with_stats().expect("heuristic solve");
+        stats.merge(&s);
+        max_loss = max_loss.max(sol.max_loss);
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    SolverBenchRow {
+        backend,
+        config: config.into(),
+        threads,
+        warm,
+        total_ms,
+        mean_epoch_ms: total_ms / epochs.max(1) as f64,
+        max_loss,
+        stats,
+    }
+}
+
+/// One sparse `serial-cold` row under an explicit pricing /
+/// eta-update / cold-start combination — the building block of the
+/// polish-speedup regression gate (the `--min-polish-speedup` flag of
+/// `bench_solver`), which compares the legacy
+/// Dantzig/product-form/two-phase configuration against
+/// Forrest–Tomlin + devex + dual cold starts on the same workload in
+/// the same process.
+pub fn bench_serial_cold_row(
+    net: &prete_topology::Network,
+    epochs: usize,
+    pricing: Pricing,
+    eta_update: EtaUpdate,
+    cold_start: ColdStart,
+) -> SolverBenchRow {
+    let wl = workload(net);
+    run_config(
+        net,
+        &wl,
+        epochs,
+        SolverBackend::SparseRevised,
+        "serial-cold",
+        1,
+        false,
+        pricing,
+        eta_update,
+        cold_start,
+    )
+}
+
+/// [`bench_solver`] over an explicit backend list and sparse-engine
+/// configuration: each backend runs the full configuration grid, and
+/// when both engines are present the dense-vs-sparse `serial-cold`
+/// ratio lands in [`SolverBench::sparse_speedup`] (CI's
+/// engine-regression gate). `pricing`/`eta_update` select the sparse
+/// engine's rules (the dense tableau ignores them) and are recorded in
+/// each row's [`SolverStats`]; `cold_start` picks the sparse engine's
+/// cold-solve strategy for every row.
+pub fn bench_solver_matrix(
+    net: &prete_topology::Network,
+    epochs: usize,
+    backends: &[SolverBackend],
+    pricing: Pricing,
+    eta_update: EtaUpdate,
+    cold_start: ColdStart,
+) -> SolverBench {
+    let wl = workload(net);
+    let run = |backend: SolverBackend, config: &str, threads: usize, warm: bool| {
+        run_config(
+            net,
+            &wl,
+            epochs,
             backend,
-            config: config.into(),
+            config,
             threads,
             warm,
-            total_ms,
-            mean_epoch_ms: total_ms / epochs.max(1) as f64,
-            max_loss,
-            stats,
-        }
+            pricing,
+            eta_update,
+            cold_start,
+        )
     };
 
     let mut rows = Vec::with_capacity(3 * backends.len());

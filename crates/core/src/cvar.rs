@@ -50,19 +50,19 @@ pub fn minimize_cvar(
     let groups = CapacityGroups::build(net);
     let mut lp = LinearProgram::new();
     let a_vars: Vec<VarId> =
-        (0..tunnels.len()).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+        (0..tunnels.len()).map(|_| lp.var_nonneg(0.0)).collect();
     // α is a free quantile variable; losses live in [0,1] so α ∈ [0,1]
     // at any optimum.
-    let alpha = lp.add_var(0.0, 1.0, 1.0);
+    let alpha = lp.var_unit(1.0);
     // z_q ≥ L_q − α, weighted by p_q / (1−β).
     let z_vars: Vec<VarId> = scenarios
         .scenarios
         .iter()
-        .map(|q| lp.add_var(0.0, f64::INFINITY, q.prob / (1.0 - beta)))
+        .map(|q| lp.var_nonneg(q.prob / (1.0 - beta)))
         .collect();
     // L_q variables.
     let l_vars: Vec<VarId> =
-        (0..scenarios.len()).map(|_| lp.add_var(0.0, 1.0, 0.0)).collect();
+        (0..scenarios.len()).map(|_| lp.var_unit(0.0)).collect();
 
     // Capacity rows.
     let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); groups.len()];

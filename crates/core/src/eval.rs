@@ -360,12 +360,12 @@ impl<'a> AvailabilityEvaluator<'a> {
     fn recompute_optimum(&self, plan: &Plan, cut: &[FiberId]) -> Vec<f64> {
         let mut lp = LinearProgram::new();
         let a_vars: Vec<VarId> = (0..plan.tunnels.len())
-            .map(|_| lp.add_var(0.0, f64::INFINITY, 0.0))
+            .map(|_| lp.var_nonneg(0.0))
             .collect();
         let b_vars: Vec<VarId> = self
             .flows
             .iter()
-            .map(|fl| lp.add_var(0.0, fl.demand_gbps, -1.0))
+            .map(|fl| lp.var_bounded(0.0, fl.demand_gbps, -1.0))
             .collect();
         let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); self.groups.len()];
         for t in plan.tunnels.tunnels() {

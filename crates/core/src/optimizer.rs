@@ -33,8 +33,9 @@
 use crate::capacity::CapacityGroups;
 use crate::scenario::ScenarioSet;
 use prete_lp::{
-    solve_mip, BasisCache, ConstraintId, LinearProgram, MipOptions, MipStatus, Sense,
-    SimplexOptions, SolveStatus, SolverBackend, VarId, WarmSimplex,
+    solve_mip, BasisCache, ColdStart, ConstraintId, EtaUpdate, LinearProgram, MipOptions,
+    MipStatus, Pricing, Sense, SimplexOptions, SolveStatus, SolverBackend, VarId,
+    WarmSimplex,
 };
 use prete_obs::Recorder;
 use prete_topology::{Flow, Network, TunnelId, TunnelSet};
@@ -325,6 +326,15 @@ pub struct SolverStats {
     pub dense_fallbacks: usize,
     /// Worker threads the solve was configured with.
     pub threads: usize,
+    /// Pricing rule the solve was configured with (configuration
+    /// label, not a work unit).
+    pub pricing: Pricing,
+    /// Basis-update scheme the solve was configured with
+    /// (configuration label, not a work unit).
+    pub eta_update: EtaUpdate,
+    /// Cold-start strategy the solve was configured with
+    /// (configuration label, not a work unit).
+    pub cold_start: ColdStart,
 }
 
 impl SolverStats {
@@ -349,6 +359,12 @@ impl SolverStats {
         self.fill_in += other.fill_in;
         self.dense_fallbacks += other.dense_fallbacks;
         self.threads = self.threads.max(other.threads);
+        // Configuration labels: the accumulator adopts the merged
+        // solve's choices, so a default-initialized epoch accumulator
+        // ends up labelled with what actually ran.
+        self.pricing = other.pricing;
+        self.eta_update = other.eta_update;
+        self.cold_start = other.cold_start;
     }
 
     /// Fraction of warm-start attempts that hit, in `[0, 1]` (0 when
@@ -399,9 +415,10 @@ impl SolverStats {
 }
 
 impl PartialEq for SolverStats {
-    /// Deterministic work-unit fields only — wall-clock measurements
-    /// and the machine-dependent thread count are excluded so replays
-    /// on any machine compare equal when they did the same work.
+    /// Deterministic work-unit fields only — wall-clock measurements,
+    /// the machine-dependent thread count and the configuration labels
+    /// (`pricing`, `eta_update`) are excluded so replays on any
+    /// machine compare equal when they did the same work.
     fn eq(&self, other: &Self) -> bool {
         self.lp_solves == other.lp_solves
             && self.pivots == other.pivots
@@ -448,6 +465,9 @@ pub struct TeSolver<'p, 'a, 'c> {
     budget: SolveBudget,
     threads: usize,
     backend: SolverBackend,
+    pricing: Pricing,
+    eta_update: EtaUpdate,
+    cold_start: ColdStart,
     cache: Option<&'c mut BasisCache>,
     recorder: Recorder,
 }
@@ -455,7 +475,8 @@ pub struct TeSolver<'p, 'a, 'c> {
 impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
     /// Creates a solver for `problem` with defaults: `beta = 0.99`,
     /// [`SolveMethod::Heuristic`], the default [`SolveBudget`], all
-    /// available cores, no warm-start cache, no recorder.
+    /// available cores, default pricing/eta-update rules, no
+    /// warm-start cache, no recorder.
     pub fn new(problem: &'p TeProblem<'a>) -> Self {
         Self {
             problem,
@@ -464,6 +485,9 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
             budget: SolveBudget::default(),
             threads: 0,
             backend: SolverBackend::default(),
+            pricing: Pricing::default(),
+            eta_update: EtaUpdate::default(),
+            cold_start: ColdStart::default(),
             cache: None,
             recorder: Recorder::disabled(),
         }
@@ -522,6 +546,37 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         self
     }
 
+    /// Entering-variable pricing rule for the sparse engine
+    /// ([`Pricing::Dantzig`] segmented partial pricing by default,
+    /// [`Pricing::Devex`] reference-framework pricing to cut pivot
+    /// counts on large programs). Ignored by the dense oracle backend.
+    pub fn pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Basis-update scheme for the sparse engine
+    /// ([`EtaUpdate::ProductForm`] eta file by default,
+    /// [`EtaUpdate::ForrestTomlin`] LU updates with
+    /// stability-triggered refactorization). Ignored by the dense
+    /// oracle backend.
+    pub fn eta_update(mut self, eta_update: EtaUpdate) -> Self {
+        self.eta_update = eta_update;
+        self
+    }
+
+    /// Cold-start strategy for the sparse engine
+    /// ([`ColdStart::TwoPhase`] by default: the classic primal
+    /// two-phase sequence, reproducing historical pivot paths;
+    /// [`ColdStart::Auto`] opts into a single dual simplex pass from
+    /// the all-slack basis whenever the program qualifies — the fast
+    /// path the benchmark gate measures). Ignored by the dense oracle
+    /// backend.
+    pub fn cold_start(mut self, cold_start: ColdStart) -> Self {
+        self.cold_start = cold_start;
+        self
+    }
+
     /// Warm-starts LP solves from `cache` (keyed by
     /// [`TeProblem::structure_key`]) and saves the optimal bases back,
     /// so successive epochs skip simplex phase 1.
@@ -551,13 +606,25 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         let span = recorder.span("solve");
         let threads = effective_threads(self.threads);
         recorder.event_with("solver-backend", || format!("{:?}", self.backend));
+        recorder.event_with("solver-pricing", || format!("{:?}", self.pricing));
+        recorder.event_with("solver-eta-update", || format!("{:?}", self.eta_update));
+        recorder.event_with("solver-cold-start", || format!("{:?}", self.cold_start));
         let evictions_before = self.cache.as_ref().map_or(0, |c| c.evictions());
         let mut ctx = SolveCtx {
             problem: self.problem,
             threads,
             backend: self.backend,
+            pricing: self.pricing,
+            eta_update: self.eta_update,
+            cold_start: self.cold_start,
             cache: self.cache,
-            stats: SolverStats { threads, ..SolverStats::default() },
+            stats: SolverStats {
+                threads,
+                pricing: self.pricing,
+                eta_update: self.eta_update,
+                cold_start: self.cold_start,
+                ..SolverStats::default()
+            },
             obs: recorder.clone(),
         };
         let budget = self.budget;
@@ -726,6 +793,9 @@ struct SolveCtx<'p, 'a, 'c> {
     problem: &'p TeProblem<'a>,
     threads: usize,
     backend: SolverBackend,
+    pricing: Pricing,
+    eta_update: EtaUpdate,
+    cold_start: ColdStart,
     cache: Option<&'c mut BasisCache>,
     stats: SolverStats,
     obs: Recorder,
@@ -736,6 +806,9 @@ impl SolveCtx<'_, '_, '_> {
         SimplexOptions {
             threads: self.threads,
             backend: self.backend,
+            pricing: self.pricing,
+            eta_update: self.eta_update,
+            cold_start: self.cold_start,
             ..SimplexOptions::default()
         }
     }
@@ -786,8 +859,8 @@ impl SolveCtx<'_, '_, '_> {
         let n_tunnels = problem.tunnels.len();
         let mut lp = LinearProgram::new();
         let a_vars: Vec<VarId> =
-            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
-        let phi = lp.add_var(0.0, f64::INFINITY, 1.0);
+            (0..n_tunnels).map(|_| lp.var_nonneg(0.0)).collect();
+        let phi = lp.var_nonneg(1.0);
 
         // Capacity rows (Eqn 3), per trunk group.
         let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
@@ -868,10 +941,31 @@ impl SolveCtx<'_, '_, '_> {
         let mean_demand = (total_demand / problem.flows.len().max(1) as f64).max(1e-9);
         let p0 = problem.scenarios.scenarios[0].prob.max(1e-12);
         let mut lp = LinearProgram::new();
-        let a_vars: Vec<VarId> =
-            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, -1e-6)).collect();
+        // Each allocation is capped by its tunnel's bottleneck group
+        // capacity. The capacity rows already imply this, so the
+        // optimum is untouched — but stating it as a variable bound
+        // makes every negative-cost column bounded, which lets the
+        // sparse engine cold-start with a single dual simplex pass
+        // instead of a two-phase primal solve.
+        let mut bottleneck = vec![f64::INFINITY; n_tunnels];
+        for t in problem.tunnels.tunnels() {
+            for g in problem.groups.groups_of_path(&t.path.links) {
+                let b = &mut bottleneck[t.id.index()];
+                *b = b.min(problem.groups.capacity(g));
+            }
+        }
+        let a_vars: Vec<VarId> = bottleneck
+            .iter()
+            .map(|&cap| {
+                if cap.is_finite() {
+                    lp.var_bounded(0.0, cap, -1e-6)
+                } else {
+                    lp.var_nonneg(-1e-6)
+                }
+            })
+            .collect();
         // Fairness tie-break on the worst no-failure delivered fraction.
-        let z = lp.add_var(0.0, 1.0, -0.01 * total_demand.max(1.0));
+        let z = lp.var_unit(-0.01 * total_demand.max(1.0));
 
         // Capacity rows.
         let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
@@ -915,7 +1009,7 @@ impl SolveCtx<'_, '_, '_> {
                 } else {
                     (problem.scenarios.scenarios[qi].prob / p0).min(1.0)
                 };
-                let s = lp.add_var(0.0, d, -weight * mean_demand / d);
+                let s = lp.var_bounded(0.0, d, -weight * mean_demand / d);
                 let mut terms: Vec<(VarId, f64)> = problem
                     .surviving(f, qi)
                     .iter()
@@ -967,8 +1061,8 @@ fn build_benders_lp(problem: &TeProblem<'_>) -> BendersLp {
     let n_tunnels = problem.tunnels.len();
     let mut lp = LinearProgram::new();
     let a_vars: Vec<VarId> =
-        (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
-    let phi = lp.add_var(0.0, f64::INFINITY, 1.0);
+        (0..n_tunnels).map(|_| lp.var_nonneg(0.0)).collect();
+    let phi = lp.var_nonneg(1.0);
 
     let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
     for t in problem.tunnels.tunnels() {
@@ -1161,11 +1255,11 @@ fn solve_master(
 ) -> (Vec<Vec<usize>>, f64, usize) {
     let scen = &problem.scenarios.scenarios;
     let mut lp = LinearProgram::new();
-    let phi = lp.add_var(0.0, 1.0, 1.0);
+    let phi = lp.var_unit(1.0);
     // δ variables for (flow, materialized scenario).
     let mut dvars: Vec<Vec<VarId>> = Vec::with_capacity(all_delta.len());
     for (f, qs) in all_delta.iter().enumerate() {
-        let vars: Vec<VarId> = qs.iter().map(|_| lp.add_var(0.0, 1.0, 0.0)).collect();
+        let vars: Vec<VarId> = qs.iter().map(|_| lp.var_unit(0.0)).collect();
         // Knapsack (constraint 5): Σ δ p + unaffecting mass ≥ β,
         // clamped to the attainable mass when enumeration fell short.
         let attainable: f64 = qs.iter().map(|&qi| scen[qi].prob).sum();
@@ -1226,8 +1320,8 @@ impl SolveCtx<'_, '_, '_> {
         let n_tunnels = problem.tunnels.len();
         let mut lp = LinearProgram::new();
         let a_vars: Vec<VarId> =
-            (0..n_tunnels).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
-        let phi = lp.add_var(0.0, 1.0, 1.0);
+            (0..n_tunnels).map(|_| lp.var_nonneg(0.0)).collect();
+        let phi = lp.var_unit(1.0);
         // Capacity.
         let mut group_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); problem.groups.len()];
         for t in problem.tunnels.tunnels() {
@@ -1246,7 +1340,7 @@ impl SolveCtx<'_, '_, '_> {
             rows.extend_from_slice(problem.affecting(f));
             let vars: Vec<(usize, VarId)> = rows
                 .iter()
-                .map(|&qi| (qi, lp.add_var(0.0, 1.0, 0.0)))
+                .map(|&qi| (qi, lp.var_unit(0.0)))
                 .collect();
             for &(qi, dv) in &vars {
                 // Σ surv a + d Φ − d δ ≥ 0.
@@ -1612,6 +1706,9 @@ mod tests {
             fill_in: 204,
             dense_fallbacks: 1,
             threads: 8,
+            pricing: Pricing::Devex,
+            eta_update: EtaUpdate::ForrestTomlin,
+            cold_start: ColdStart::Auto,
         };
         let json = serde_json::to_string(&stats).unwrap();
         for field in [
@@ -1633,6 +1730,9 @@ mod tests {
             r#""fill_in":204"#,
             r#""dense_fallbacks":1"#,
             r#""threads":8"#,
+            r#""pricing":"Devex""#,
+            r#""eta_update":"ForrestTomlin""#,
+            r#""cold_start":"Auto""#,
         ] {
             assert!(json.contains(field), "{field} missing from {json}");
         }

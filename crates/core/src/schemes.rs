@@ -224,19 +224,19 @@ impl<'p> ThroughputLp<'p> {
     fn new(ctx: &'p TeContext<'p>, tunnels: &'p TunnelSet, groups: &CapacityGroups) -> Self {
         let mut lp = LinearProgram::new();
         let a_vars: Vec<VarId> =
-            (0..tunnels.len()).map(|_| lp.add_var(0.0, f64::INFINITY, 0.0)).collect();
+            (0..tunnels.len()).map(|_| lp.var_nonneg(0.0)).collect();
         // maximize Σ b_f → minimize -Σ b_f.
         let b_vars: Vec<VarId> = ctx
             .flows
             .iter()
-            .map(|f| lp.add_var(0.0, f.demand_gbps, -1.0))
+            .map(|f| lp.var_bounded(0.0, f.demand_gbps, -1.0))
             .collect();
         // Fairness tie-break: a plain Σ b_f objective has degenerate
         // optima that zero out individual flows. A small bonus on the
         // worst admitted fraction `z` picks the fair vertex among
         // equal-throughput optima without sacrificing total throughput.
         let total_demand: f64 = ctx.flows.iter().map(|f| f.demand_gbps).sum();
-        let z = lp.add_var(0.0, 1.0, -0.01 * total_demand);
+        let z = lp.var_unit(-0.01 * total_demand);
         for (f, flow) in ctx.flows.iter().enumerate() {
             if flow.demand_gbps > 0.0 {
                 // b_f − d_f·z ≥ 0  ⇔  z ≤ b_f / d_f.

@@ -19,18 +19,49 @@
 //! consumed by back-substitution). [`LuFactors::ftran`] solves
 //! `B x = b`, [`LuFactors::btran`] solves `Bᵀ y = c`.
 //!
-//! Between refactorizations the basis evolves by product-form **eta
-//! updates** ([`EtaFile`]): replacing basis slot `s` with entering
-//! column `q` appends the eta `(s, w)` where `w = B⁻¹ a_q`, and
-//! subsequent FTRAN/BTRAN apply the eta file after/before the LU
-//! solves. The eta file is truncated by periodic refactorization
-//! (every [`REFACTOR_INTERVAL`] pivots), which bounds both the solve
-//! cost and the accumulated round-off.
+//! Between refactorizations the basis evolves by one of two update
+//! strategies, selected by [`crate::EtaUpdate`]:
+//!
+//! * **Product-form eta updates** ([`EtaFile`]): replacing basis slot
+//!   `s` with entering column `q` appends the eta `(s, w)` where
+//!   `w = B⁻¹ a_q`, and subsequent FTRAN/BTRAN apply the eta file
+//!   after/before the LU solves. The eta file is truncated by periodic
+//!   refactorization (every [`REFACTOR_INTERVAL`] pivots), which bounds
+//!   both the solve cost and the accumulated round-off.
+//! * **Forrest–Tomlin updates** ([`FtFactors`]): the LU factors
+//!   themselves absorb each basis change. The entering column's L-pass
+//!   image (the *spike*) replaces the leaving column of `U`, the
+//!   leaving row is eliminated against the later rows (producing one
+//!   new row-elimination operator appended to `L`), and the
+//!   row/column permutation is cyclically shifted so `U` stays
+//!   logically upper triangular. Refactorization is triggered by a
+//!   numerical stability test on the new diagonal — not a fixed
+//!   cadence — so FTRAN/BTRAN stay near the cold-factor cost across
+//!   hundreds of pivots.
 
-/// Refactorize after this many eta updates. Chosen so eta application
-/// stays cheap relative to one LU solve while refactorizations stay
-/// rare relative to pivots.
+/// Refactorize after this many eta updates (product-form strategy
+/// only). Chosen so eta application stays cheap relative to one LU
+/// solve while refactorizations stay rare relative to pivots.
 pub const REFACTOR_INTERVAL: usize = 64;
+
+/// Forrest–Tomlin safety valve: refactorize after this many updates
+/// even if every diagonal passed the stability test, bounding the
+/// appended-operator memory and accumulated round-off. Long chains of
+/// near-degenerate pivots (dual cold starts are full of them) drift
+/// the factors far enough to endorse pivots that are singular in exact
+/// arithmetic, so the valve sits at a couple of refactorization-free
+/// hundreds-of-pivots stretches rather than the thousands the
+/// stability test alone would allow — 2× the product-form cadence, at
+/// a per-update cost that doesn't grow with chain length. A pivot the
+/// drifted factors wrongly endorse is caught when the post-pivot
+/// refactorization fails and the simplex rolls the basis change back,
+/// so the valve only has to keep such events rare, not impossible.
+const FT_MAX_UPDATES: usize = 128;
+
+/// Forrest–Tomlin relative stability threshold: the new diagonal must
+/// satisfy `|d| ≥ FT_STAB_REL · max|spike|` (and an absolute floor) or
+/// the update is refused in favor of a refactorization.
+const FT_STAB_REL: f64 = 1e-7;
 
 /// Pivot magnitude below which a factorization is declared singular.
 const SINGULAR_TOL: f64 = 1e-11;
@@ -350,6 +381,297 @@ impl LuFactors {
     }
 }
 
+/// One recorded L-side operator of a [`FtFactors`] factorization, in
+/// matrix-row space.
+#[derive(Debug, Clone)]
+enum Lop {
+    /// Column eliminator from the cold factorization: with `t =
+    /// w[row]`, applies `w[i] -= f · t` for every `(i, f)`.
+    Col { row: usize, terms: Vec<(usize, f64)> },
+    /// Row eliminator appended by a Forrest–Tomlin update: applies
+    /// `w[row] -= Σ f · w[i]`.
+    Row { row: usize, terms: Vec<(usize, f64)> },
+}
+
+/// Outcome of a [`FtFactors::update`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtUpdate {
+    /// The factors absorbed the basis change.
+    Applied,
+    /// The new diagonal failed the stability test (or the safety valve
+    /// tripped); the factors are unchanged and the caller must
+    /// refactorize from the updated basis columns.
+    NeedsRefactor,
+}
+
+/// A Forrest–Tomlin-updatable LU factorization.
+///
+/// Internally `B = L · U` where `L` is the composition of the recorded
+/// [`Lop`]s (matrix-row space) and `U` is stored by *physical* row
+/// index with a separate logical ordering: `order[l]` is the physical
+/// index at logical position `l`, and `U` is upper triangular in that
+/// ordering. Physical index `k` is tied to matrix row `row_of_phys[k]`
+/// and basis slot `slot_of_phys[k]`; updates never re-tie these, they
+/// only rewrite one column/row of `U` and cyclically shift the logical
+/// order.
+#[derive(Debug, Clone)]
+pub struct FtFactors {
+    m: usize,
+    lops: Vec<Lop>,
+    /// `U` diagonal, by physical index.
+    diag: Vec<f64>,
+    /// Off-diagonal `U` entries per physical row: `(phys_col, value)`,
+    /// every entry logically after its row.
+    urows: Vec<Vec<(usize, f64)>>,
+    /// Reverse index: physical rows holding an entry in each physical
+    /// column. May contain stale rows after updates (consumers
+    /// re-check); rebuilt exactly for a column when it is replaced.
+    ucols: Vec<Vec<usize>>,
+    row_of_phys: Vec<usize>,
+    slot_of_phys: Vec<usize>,
+    phys_of_slot: Vec<usize>,
+    /// Logical ordering of physical indices (`order[l]` = phys at
+    /// logical position `l`) and its inverse.
+    order: Vec<usize>,
+    logpos: Vec<usize>,
+    /// Updates absorbed since the cold factorization.
+    updates: usize,
+    /// Nonzeros across diag/urows/lops (monitoring only).
+    nnz: usize,
+}
+
+impl FtFactors {
+    /// Converts a cold LU factorization into updatable form.
+    pub fn from_lu(lu: &LuFactors) -> Self {
+        let m = lu.m;
+        let mut phys_of_slot = vec![0usize; m];
+        for (k, p) in lu.pivots.iter().enumerate() {
+            phys_of_slot[p.slot] = k;
+        }
+        let mut urows = Vec::with_capacity(m);
+        let mut ucols: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (k, p) in lu.pivots.iter().enumerate() {
+            let row: Vec<(usize, f64)> =
+                p.urow.iter().map(|&(slot, v)| (phys_of_slot[slot], v)).collect();
+            for &(c, _) in &row {
+                ucols[c].push(k);
+            }
+            urows.push(row);
+        }
+        // Hoisting every elimination column into a single forward pass
+        // is exactly what `LuFactors::ftran` does already: `lcol`
+        // multipliers only target rows pivoted later, so applying them
+        // in pivot order before any back-substitution is equivalent.
+        let lops: Vec<Lop> = lu
+            .pivots
+            .iter()
+            .filter(|p| !p.lcol.is_empty())
+            .map(|p| Lop::Col { row: p.row, terms: p.lcol.clone() })
+            .collect();
+        Self {
+            m,
+            lops,
+            diag: lu.pivots.iter().map(|p| p.diag).collect(),
+            urows,
+            ucols,
+            row_of_phys: lu.pivots.iter().map(|p| p.row).collect(),
+            slot_of_phys: lu.pivots.iter().map(|p| p.slot).collect(),
+            phys_of_slot,
+            order: (0..m).collect(),
+            logpos: (0..m).collect(),
+            updates: 0,
+            nnz: lu.nnz,
+        }
+    }
+
+    /// Applies the recorded L operators to a row-space vector.
+    fn apply_lops(&self, w: &mut [f64]) {
+        for lop in &self.lops {
+            match lop {
+                Lop::Col { row, terms } => {
+                    let t = w[*row];
+                    if t != 0.0 {
+                        for &(i, f) in terms {
+                            w[i] -= f * t;
+                        }
+                    }
+                }
+                Lop::Row { row, terms } => {
+                    let mut s = w[*row];
+                    for &(i, f) in terms {
+                        s -= f * w[i];
+                    }
+                    w[*row] = s;
+                }
+            }
+        }
+    }
+
+    /// Solves `B x = b`. `b` is indexed by row; the result is indexed
+    /// by basis slot.
+    pub fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(b.len(), self.m);
+        let mut w = b.to_vec();
+        self.apply_lops(&mut w);
+        // Gather into physical indexing and back-substitute in reverse
+        // logical order.
+        let mut x = vec![0.0f64; self.m]; // by phys
+        for l in (0..self.m).rev() {
+            let k = self.order[l];
+            let mut s = w[self.row_of_phys[k]];
+            for &(c, v) in &self.urows[k] {
+                s -= v * x[c];
+            }
+            x[k] = s / self.diag[k];
+        }
+        let mut out = vec![0.0f64; self.m];
+        for k in 0..self.m {
+            out[self.slot_of_phys[k]] = x[k];
+        }
+        out
+    }
+
+    /// Solves `Bᵀ y = c`. `c` is indexed by basis slot; the result is
+    /// indexed by row.
+    pub fn btran(&self, c: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(c.len(), self.m);
+        // Solve Uᵀ z = c in forward logical order, pushing each solved
+        // component's contributions to the later rows it appears under.
+        let mut acc = vec![0.0f64; self.m]; // by phys
+        let mut y = vec![0.0f64; self.m]; // by row
+        for l in 0..self.m {
+            let k = self.order[l];
+            let z = (c[self.slot_of_phys[k]] - acc[k]) / self.diag[k];
+            if z != 0.0 {
+                for &(col, v) in &self.urows[k] {
+                    acc[col] += v * z;
+                }
+            }
+            y[self.row_of_phys[k]] = z;
+        }
+        // Transposed L operators in reverse.
+        for lop in self.lops.iter().rev() {
+            match lop {
+                Lop::Col { row, terms } => {
+                    let mut s = y[*row];
+                    for &(i, f) in terms {
+                        s -= f * y[i];
+                    }
+                    y[*row] = s;
+                }
+                Lop::Row { row, terms } => {
+                    let t = y[*row];
+                    if t != 0.0 {
+                        for &(i, f) in terms {
+                            y[i] -= f * t;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Absorbs the basis change replacing slot `s` with the column
+    /// whose raw `(row, value)` entries are `col`. On
+    /// [`FtUpdate::NeedsRefactor`] the factors are left unchanged (and
+    /// stale): the caller must rebuild from the new basis columns.
+    pub fn update(&mut self, s: usize, col: &[(usize, f64)]) -> FtUpdate {
+        if self.updates >= FT_MAX_UPDATES {
+            return FtUpdate::NeedsRefactor;
+        }
+        // Spike: the entering column pushed through L, in phys space.
+        let mut w = vec![0.0f64; self.m];
+        for &(r, v) in col {
+            w[r] = v;
+        }
+        self.apply_lops(&mut w);
+        let spike: Vec<f64> = (0..self.m).map(|k| w[self.row_of_phys[k]]).collect();
+
+        let p = self.phys_of_slot[s];
+        let lp = self.logpos[p];
+        // Eliminate row p against the rows logically after it: with
+        // column p replaced by the spike and shifted last, row p's old
+        // off-diagonal entries are the only violations of upper
+        // triangularity. Each elimination `row_p -= μ · row_c` zeroes
+        // the entry at column c, spreads into row c's later columns,
+        // and folds `-μ · spike[c]` into the new diagonal.
+        let mut rowp = vec![0.0f64; self.m];
+        for &(c, v) in &self.urows[p] {
+            rowp[c] = v;
+        }
+        let mut d = spike[p];
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for l in lp + 1..self.m {
+            let c = self.order[l];
+            let val = rowp[c];
+            if val == 0.0 {
+                continue;
+            }
+            let mu = val / self.diag[c];
+            rowp[c] = 0.0;
+            for &(c2, u) in &self.urows[c] {
+                if c2 != p {
+                    rowp[c2] -= mu * u;
+                }
+            }
+            d -= mu * spike[c];
+            terms.push((c, mu));
+        }
+        let spike_max = spike.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if d.abs() < SINGULAR_TOL.max(FT_STAB_REL * spike_max) {
+            return FtUpdate::NeedsRefactor;
+        }
+
+        // Commit. Old column p disappears (its entries, wherever they
+        // live, belong to the leaving basis column) …
+        let cols_p = std::mem::take(&mut self.ucols[p]);
+        for &k in &cols_p {
+            if k != p {
+                let before = self.urows[k].len();
+                self.urows[k].retain(|&(c, _)| c != p);
+                self.nnz = self.nnz.saturating_sub(before - self.urows[k].len());
+            }
+        }
+        // … the spike becomes the new column p (every other row is
+        // logically before p once p shifts last, so triangularity
+        // holds) …
+        self.nnz = self.nnz.saturating_sub(self.urows[p].len() + 1);
+        for (k, &v) in spike.iter().enumerate() {
+            if k != p && v != 0.0 {
+                self.urows[k].push((p, v));
+                self.ucols[p].push(k);
+                self.nnz += 1;
+            }
+        }
+        // … row p reduces to the lone diagonal `d`.
+        self.urows[p].clear();
+        self.diag[p] = d;
+        self.nnz += 1;
+        if !terms.is_empty() {
+            self.nnz += terms.len();
+            let row = self.row_of_phys[p];
+            let terms: Vec<(usize, f64)> =
+                terms.iter().map(|&(c, mu)| (self.row_of_phys[c], mu)).collect();
+            self.lops.push(Lop::Row { row, terms });
+        }
+        // Cyclic shift: p moves to the last logical position.
+        self.order.remove(lp);
+        self.order.push(p);
+        for (l, &k) in self.order.iter().enumerate().skip(lp) {
+            self.logpos[k] = l;
+        }
+        self.updates += 1;
+        FtUpdate::Applied
+    }
+
+    /// Updates absorbed since the cold factorization.
+    #[cfg(test)]
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+}
+
 /// One product-form update: basis slot `slot` was replaced by a column
 /// whose FTRAN image (through the basis *before* the update) is the
 /// sparse vector `col` with diagonal `diag = col[slot]`.
@@ -369,11 +691,6 @@ pub struct EtaFile {
 }
 
 impl EtaFile {
-    /// Empties the file (after a refactorization).
-    pub fn clear(&mut self) {
-        self.etas.clear();
-    }
-
     /// Number of etas on file.
     pub fn len(&self) -> usize {
         self.etas.len()
@@ -589,5 +906,94 @@ mod tests {
         let w = vec![0.0, 1e-12, 0.0];
         assert!(!etas.push(1, &w));
         assert!(etas.is_empty());
+    }
+
+    fn sparse_col(m: usize, a: &[f64], s: usize) -> Vec<(usize, f64)> {
+        (0..m).filter(|&r| a[r * m + s] != 0.0).map(|r| (r, a[r * m + s])).collect()
+    }
+
+    fn assert_ft_matches(m: usize, a: &[f64], ft: &FtFactors, tol: f64) {
+        let x_true: Vec<f64> = (0..m).map(|i| (i as f64) * 0.7 - 1.3).collect();
+        let b = mat_vec(m, a, &x_true);
+        for (xi, ti) in ft.ftran(&b).iter().zip(&x_true) {
+            assert!((xi - ti).abs() < tol, "ftran {:?} vs {x_true:?}", ft.ftran(&b));
+        }
+        let y_true: Vec<f64> = (0..m).map(|i| 0.4 * i as f64 - 0.9).collect();
+        let c = mat_t_vec(m, a, &y_true);
+        for (yi, ti) in ft.btran(&c).iter().zip(&y_true) {
+            assert!((yi - ti).abs() < tol, "btran {:?} vs {y_true:?}", ft.btran(&c));
+        }
+    }
+
+    #[test]
+    fn ft_conversion_reproduces_lu_solves() {
+        let m = 5;
+        let mut a = vec![0.0f64; m * m];
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for v in a.iter_mut() {
+            *v = next() * 4.0;
+        }
+        for i in 0..m {
+            a[i * m + i] += 10.0;
+        }
+        let lu = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let ft = FtFactors::from_lu(&lu);
+        assert_ft_matches(m, &a, &ft, 1e-9);
+    }
+
+    #[test]
+    fn ft_updates_track_column_replacements() {
+        // Start from a mixed peel/bump matrix and replace several
+        // columns in sequence, verifying the factors against the dense
+        // ground truth after every update.
+        let m = 6;
+        let mut a = vec![0.0f64; m * m];
+        for i in 0..3 {
+            a[i * m + i] = 1.0;
+            a[i * m + 4] = 0.5 * (i as f64 + 1.0);
+        }
+        let dense = [[4.0, 1.0, -1.0], [2.0, 5.0, 1.0], [-1.0, 1.0, 6.0]];
+        for (bi, row) in dense.iter().enumerate() {
+            for (bj, &v) in row.iter().enumerate() {
+                a[(3 + bi) * m + (3 + bj)] = v;
+            }
+        }
+        let lu = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let mut ft = FtFactors::from_lu(&lu);
+        let replacements: &[(usize, [f64; 6])] = &[
+            (1, [1.0, 3.0, 0.0, 1.0, 0.0, -1.0]),
+            (4, [0.0, 1.0, 2.0, 0.0, 5.0, 1.0]),
+            (1, [2.0, 7.0, 1.0, 0.0, 1.0, 0.0]),
+            (0, [3.0, 0.5, 0.0, -1.0, 0.0, 2.0]),
+            (5, [0.0, 0.0, 1.0, 1.0, 0.0, 4.0]),
+        ];
+        for &(s, newcol) in replacements {
+            for (r, &v) in newcol.iter().enumerate() {
+                a[r * m + s] = v;
+            }
+            assert_eq!(ft.update(s, &sparse_col(m, &a, s)), FtUpdate::Applied);
+            assert_ft_matches(m, &a, &ft, 1e-8);
+        }
+        assert_eq!(ft.updates(), replacements.len());
+    }
+
+    #[test]
+    fn ft_singular_replacement_demands_refactorization() {
+        // Replacing column 1 of the identity with e0 makes the basis
+        // singular: the new diagonal is exactly 0.
+        let m = 3;
+        let a: Vec<f64> =
+            (0..m * m).map(|i| if i % (m + 1) == 0 { 1.0 } else { 0.0 }).collect();
+        let lu = LuFactors::factorize(m, &dense_to_cols(m, &a)).unwrap();
+        let mut ft = FtFactors::from_lu(&lu);
+        assert_eq!(ft.update(1, &[(0, 1.0)]), FtUpdate::NeedsRefactor);
+        // The factors are untouched: the identity still solves.
+        assert_ft_matches(m, &a, &ft, 1e-12);
     }
 }

@@ -13,7 +13,10 @@
 //!   optimality cuts of Appendix A.4/A.5), kept as the trusted oracle
 //!   and automatic fallback, and the default sparse revised simplex
 //!   (presolve + CSC columns + LU-factorized basis with product-form
-//!   eta updates) for the large, extremely sparse TE programs;
+//!   eta or Forrest–Tomlin updates, Dantzig or devex pricing, native
+//!   variable bounds — all selected by typed [`simplex::Pricing`] /
+//!   [`simplex::EtaUpdate`] options) for the large, extremely sparse
+//!   TE programs;
 //! * [`mip`] — branch-and-bound over binary/integer variables on top of
 //!   the simplex relaxation, used for the Benders master problem and as
 //!   an exact (small-instance) reference solver for the full MIP
@@ -44,7 +47,8 @@ pub mod warm;
 pub use mip::{solve_mip, MipOptions, MipResult, MipStatus};
 pub use model::{Constraint, ConstraintId, LinearProgram, Sense, VarId};
 pub use simplex::{
-    solve, solve_with, Basis, EngineStats, SimplexOptions, Solution, SolveStatus, SolverBackend,
-    WarmSimplex,
+    solve, solve_with, Basis, ColdStart, EngineStats, EtaUpdate, Pricing,
+    SimplexOptions, Solution,
+    SolveStatus, SolverBackend, WarmSimplex,
 };
 pub use warm::{BasisCache, BasisCacheSnapshot};

@@ -96,6 +96,87 @@ impl LinearProgram {
         id
     }
 
+    /// Adds a nonnegative variable (`[0, ∞)`) — the common TE column.
+    pub fn var_nonneg(&mut self, objective: f64) -> VarId {
+        self.add_var(0.0, f64::INFINITY, objective)
+    }
+
+    /// Adds a variable confined to `[0, 1]` (fractions, indicator
+    /// relaxations).
+    pub fn var_unit(&mut self, objective: f64) -> VarId {
+        self.add_var(0.0, 1.0, objective)
+    }
+
+    /// Adds a variable with *finite* bounds `[lower, upper]`.
+    ///
+    /// This is the first-class way to state a box constraint: the
+    /// sparse engine handles the bound natively in its ratio test (no
+    /// extra row, the basis stays at the size of the genuine
+    /// constraint set). Encoding the same bound as a singleton
+    /// `x <= u` row is deprecated — use this (or
+    /// [`LinearProgram::absorb_bound_rows`] for models built
+    /// elsewhere) instead.
+    ///
+    /// # Panics
+    /// Panics if either bound is non-finite or `upper < lower`.
+    pub fn var_bounded(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(upper.is_finite(), "var_bounded requires a finite upper bound");
+        self.add_var(lower, upper, objective)
+    }
+
+    /// Shim for externally built models that encode variable bounds as
+    /// singleton constraint rows (`a·x {<=,>=,=} b` with one term):
+    /// folds every such row into the variable's bounds and removes the
+    /// row, returning how many rows were absorbed and `Err` when an
+    /// absorbed bound pair is contradictory (empty box).
+    ///
+    /// Remaining constraints are re-indexed, so previously held
+    /// [`ConstraintId`]s are invalidated and the dual vector of
+    /// subsequent solves shrinks accordingly. Call once, right after
+    /// building (or importing) the model.
+    pub fn absorb_bound_rows(&mut self) -> Result<usize, String> {
+        let mut absorbed = 0usize;
+        let mut kept = Vec::with_capacity(self.constraints.len());
+        for c in self.constraints.drain(..) {
+            match c.terms.as_slice() {
+                &[(v, a)] if a != 0.0 => {
+                    let var = &mut self.vars[v.index()];
+                    let bound = c.rhs / a;
+                    let tighten_upper = |var: &mut Variable, b: f64| {
+                        if b < var.upper {
+                            var.upper = b;
+                        }
+                    };
+                    let tighten_lower = |var: &mut Variable, b: f64| {
+                        if b > var.lower {
+                            var.lower = b;
+                        }
+                    };
+                    match (c.sense, a > 0.0) {
+                        (Sense::Le, true) | (Sense::Ge, false) => tighten_upper(var, bound),
+                        (Sense::Ge, true) | (Sense::Le, false) => tighten_lower(var, bound),
+                        (Sense::Eq, _) => {
+                            tighten_upper(var, bound);
+                            tighten_lower(var, bound);
+                        }
+                    }
+                    if var.upper < var.lower {
+                        return Err(format!(
+                            "bound row on {} leaves empty box [{}, {}]",
+                            var.name.clone().unwrap_or_else(|| format!("x{}", v.index())),
+                            var.lower,
+                            var.upper
+                        ));
+                    }
+                    absorbed += 1;
+                }
+                _ => kept.push(c),
+            }
+        }
+        self.constraints = kept;
+        Ok(absorbed)
+    }
+
     /// Adds a named variable.
     pub fn add_named_var(
         &mut self,
@@ -266,5 +347,45 @@ mod tests {
     fn inverted_bounds_rejected() {
         let mut lp = LinearProgram::new();
         lp.add_var(2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn bound_builders_set_expected_boxes() {
+        let mut lp = LinearProgram::new();
+        let a = lp.var_nonneg(1.0);
+        let b = lp.var_unit(-2.0);
+        let c = lp.var_bounded(-1.5, 4.0, 0.5);
+        assert_eq!((lp.var(a).lower, lp.var(a).upper), (0.0, f64::INFINITY));
+        assert_eq!((lp.var(b).lower, lp.var(b).upper), (0.0, 1.0));
+        assert_eq!((lp.var(c).lower, lp.var(c).upper), (-1.5, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite upper bound")]
+    fn var_bounded_rejects_infinite_upper() {
+        let mut lp = LinearProgram::new();
+        lp.var_bounded(0.0, f64::INFINITY, 1.0);
+    }
+
+    #[test]
+    fn absorb_bound_rows_folds_singletons_into_bounds() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, 10.0, -1.0);
+        lp.add_constraint(vec![(x, 1.0)], Sense::Le, 5.0); // x <= 5
+        lp.add_constraint(vec![(x, -2.0)], Sense::Le, -2.0); // x >= 1
+        lp.add_constraint(vec![(y, 1.0)], Sense::Le, 7.0); // y <= 7
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 2.0); // kept
+        assert_eq!(lp.absorb_bound_rows().unwrap(), 3);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!((lp.var(x).lower, lp.var(x).upper), (1.0, 5.0));
+        assert_eq!((lp.var(y).lower, lp.var(y).upper), (0.0, 7.0));
+
+        // Contradictory bound rows are reported, not silently solved.
+        let mut bad = LinearProgram::new();
+        let z = bad.add_var(0.0, f64::INFINITY, 0.0);
+        bad.add_constraint(vec![(z, 1.0)], Sense::Le, 1.0);
+        bad.add_constraint(vec![(z, 1.0)], Sense::Ge, 2.0);
+        assert!(bad.absorb_bound_rows().is_err());
     }
 }

@@ -50,6 +50,75 @@ pub enum SolverBackend {
     SparseRevised,
 }
 
+/// Entering-variable pricing rule for the sparse revised engine.
+///
+/// The dense tableau oracle always prices with full Dantzig scans; this
+/// knob only affects [`SolverBackend::SparseRevised`]. Both rules share
+/// the automatic Bland's-rule anti-cycling fallback after a stall.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum Pricing {
+    /// Segmented partial Dantzig pricing: scan reduced costs in
+    /// rotating segments, take the most negative. Cheap per iteration
+    /// but blind to column geometry, so pivot counts grow on long thin
+    /// programs. The default — it preserves the historical pivot
+    /// sequences bit-for-bit.
+    #[default]
+    Dantzig,
+    /// Devex reference-framework pricing (Forrest–Goldfarb): maximize
+    /// `d_j² / γ_j` where `γ_j` approximates the steepest-edge norm of
+    /// column `j` in the current reference framework. Costs one extra
+    /// BTRAN per pivot but typically cuts pivot counts by severalfold
+    /// on the TE polish programs.
+    Devex,
+}
+
+/// Basis-inverse update strategy for the sparse revised engine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum EtaUpdate {
+    /// Product-form eta file: one dense eta column per pivot, with a
+    /// full refactorization every fixed number of pivots. Simple and
+    /// the historical default, but FTRAN/BTRAN cost grows linearly in
+    /// the eta count and the file churns on long solves.
+    #[default]
+    ProductForm,
+    /// Forrest–Tomlin LU updates: the factorization itself absorbs each
+    /// basis change (spike column + one row elimination), with
+    /// refactorization triggered by a numerical stability test instead
+    /// of a fixed cadence. FTRAN/BTRAN stay near the cold-factor cost
+    /// across hundreds of pivots.
+    ForrestTomlin,
+}
+
+/// Cold-start strategy for the sparse revised engine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum ColdStart {
+    /// Pick the cheapest sound start per program: when every
+    /// negative-cost column carries a finite upper bound (and no
+    /// equality rows force artificials), start from the all-slack
+    /// basis with those columns nonbasic at their upper bounds — that
+    /// assignment is dual feasible by construction, so a single dual
+    /// simplex pass replaces the whole two-phase primal sequence.
+    /// Programs that don't qualify fall back to [`ColdStart::TwoPhase`].
+    ///
+    /// Opt-in rather than the default: on degenerate programs the dual
+    /// path reaches a different (equally optimal) vertex than the
+    /// historical primal sequence, which shifts tie-broken allocations
+    /// that golden fixtures and scheme-comparison tests pin down.
+    Auto,
+    /// Always run the classic primal two-phase method from the
+    /// slack/artificial basis. This reproduces the historical cold-solve
+    /// pivot sequences bit-for-bit (and is the benchmark regression
+    /// gate's legacy leg), so it is the default.
+    #[default]
+    TwoPhase,
+}
+
 /// Solver tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
@@ -74,6 +143,12 @@ pub struct SimplexOptions {
     /// Engine selection (default [`SolverBackend::SparseRevised`] with
     /// automatic dense fallback on factorization failure).
     pub backend: SolverBackend,
+    /// Entering-variable pricing rule (sparse engine only).
+    pub pricing: Pricing,
+    /// Basis-inverse update strategy (sparse engine only).
+    pub eta_update: EtaUpdate,
+    /// Cold-start strategy (sparse engine only).
+    pub cold_start: ColdStart,
 }
 
 impl Default for SimplexOptions {
@@ -84,6 +159,9 @@ impl Default for SimplexOptions {
             stall_threshold: 1_000,
             threads: 1,
             backend: SolverBackend::default(),
+            pricing: Pricing::default(),
+            eta_update: EtaUpdate::default(),
+            cold_start: ColdStart::default(),
         }
     }
 }
@@ -112,7 +190,9 @@ pub enum SolveStatus {
 pub struct EngineStats {
     /// Basis LU (re)factorizations, including the initial one.
     pub refactorizations: u64,
-    /// Product-form eta vectors appended between refactorizations.
+    /// Basis updates absorbed between refactorizations (product-form
+    /// eta vectors or Forrest–Tomlin spike updates, depending on
+    /// [`EtaUpdate`]).
     pub etas: u64,
     /// Cumulative LU fill-in (factor nonzeros beyond the basis
     /// nonzeros) across all factorizations.
@@ -194,6 +274,13 @@ fn solve_dense(lp: &LinearProgram, opts: SimplexOptions) -> Solution {
 pub struct Basis {
     cols: Vec<usize>,
     signature: u64,
+    /// Nonbasic-at-upper-bound flags, one per engine column (sparse
+    /// engine with native bounds only; empty for the dense tableau,
+    /// whose bounds live in explicit rows). Pre-bounds snapshots lack
+    /// the field and fail to decode — the checkpoint layer versions
+    /// its snapshots (`CHECKPOINT_VERSION`), so stale ones are rebuilt
+    /// from the journal instead of restored.
+    at_upper: Vec<bool>,
 }
 
 impl Basis {
@@ -213,13 +300,18 @@ impl Basis {
     }
 
     /// Assembles a basis from raw parts (sparse engine use).
-    pub(crate) fn from_parts(cols: Vec<usize>, signature: u64) -> Self {
-        Self { cols, signature }
+    pub(crate) fn from_parts(cols: Vec<usize>, signature: u64, at_upper: Vec<bool>) -> Self {
+        Self { cols, signature, at_upper }
     }
 
     /// The basic column per row.
     pub(crate) fn cols(&self) -> &[usize] {
         &self.cols
+    }
+
+    /// Nonbasic-at-upper flags per engine column (may be empty).
+    pub(crate) fn at_upper(&self) -> &[bool] {
+        &self.at_upper
     }
 }
 
@@ -797,7 +889,7 @@ impl Tableau {
     /// The current basis paired with this tableau's structural
     /// signature.
     fn extract_basis(&self) -> Basis {
-        Basis { cols: self.basis.clone(), signature: self.signature }
+        Basis { cols: self.basis.clone(), signature: self.signature, at_upper: Vec::new() }
     }
 
     /// Re-pivots a freshly built tableau onto a saved basis. Saved

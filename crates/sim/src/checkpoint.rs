@@ -31,7 +31,7 @@
 
 use crate::faults::{FaultPlan, PlanError};
 use crate::robust::{RobustController, RobustReport};
-use prete_lp::{BasisCacheSnapshot, SolverBackend};
+use prete_lp::{BasisCacheSnapshot, EtaUpdate, Pricing, SolverBackend};
 use prete_obs::{Recorder, RunReport};
 use prete_optical::trace::LossTrace;
 use rand::rngs::StdRng;
@@ -48,7 +48,10 @@ use std::path::{Path, PathBuf};
 /// v2: added the `backend` field (LP engine choice survives restarts).
 /// v3: `basis_cache` carries LRU recency/capacity/eviction state (the
 /// bounded cache must resume the exact eviction stream).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// v4: native-bounds basis representation (`at_upper` flags inside the
+/// cached bases) plus the `pricing`/`eta_update` solver configuration;
+/// pre-bounds snapshots are rejected and rebuilt from the journal.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 // ---------------------------------------------------------------------------
 // Storage backends
@@ -259,6 +262,12 @@ pub struct ControllerCheckpoint {
     /// LP engine the controller was solving with; restored so a
     /// recovered run keeps producing bit-identical solver work.
     pub backend: SolverBackend,
+    /// Entering-variable pricing rule in force when the checkpoint was
+    /// taken; restored for the same bit-identity reason as `backend`.
+    pub pricing: Pricing,
+    /// Basis-update scheme in force when the checkpoint was taken;
+    /// restored for the same bit-identity reason as `backend`.
+    pub eta_update: EtaUpdate,
     /// FNV-1a digest of the canonical JSON with this field zeroed;
     /// detects torn writes and bit rot on load.
     pub digest: u64,
@@ -514,6 +523,8 @@ impl<'a, S: Store> DurableController<'a, S> {
                 robust.set_priors(c.priors.clone());
                 robust.inner.cache.borrow_mut().restore(&c.basis_cache);
                 robust.inner.backend = c.backend;
+                robust.inner.pricing = c.pricing;
+                robust.inner.eta_update = c.eta_update;
                 c.epoch
             }
             None => 0,
@@ -650,6 +661,8 @@ impl<'a, S: Store> DurableController<'a, S> {
             priors: self.robust.priors().to_vec(),
             basis_cache: self.robust.inner.cache.borrow().snapshot(),
             backend: self.robust.inner.backend,
+            pricing: self.robust.inner.pricing,
+            eta_update: self.robust.inner.eta_update,
             digest: 0,
         }
         .seal()?;
@@ -706,6 +719,8 @@ mod tests {
                         latency: LatencyModel::default(),
                         threads: 0,
                         backend: Default::default(),
+                        pricing: Default::default(),
+                        eta_update: Default::default(),
                         cache: Default::default(),
                         obs: Default::default(),
                     },
@@ -741,6 +756,8 @@ mod tests {
             priors: vec![0.1, 0.2, 0.3],
             basis_cache: BasisCacheSnapshot::default(),
             backend: SolverBackend::default(),
+            pricing: Pricing::default(),
+            eta_update: EtaUpdate::default(),
             digest: 0,
         }
         .seal()

@@ -91,6 +91,12 @@ pub struct Controller<'a> {
     /// automatic fallback). Checkpoints record the choice so a restored
     /// controller keeps solving with the same engine.
     pub backend: SolverBackend,
+    /// Entering-variable pricing rule for the sparse LP engine
+    /// (checkpointed alongside `backend`).
+    pub pricing: Pricing,
+    /// Basis-update scheme for the sparse LP engine (checkpointed
+    /// alongside `backend`).
+    pub eta_update: EtaUpdate,
     /// Warm-start basis cache shared across replays (epochs): each TE
     /// recompute saves its optimal bases and the next one on the same
     /// problem structure restores them, skipping simplex phase 1.
@@ -189,6 +195,8 @@ impl<'a> Controller<'a> {
                 .method(SolveMethod::Heuristic)
                 .threads(self.threads)
                 .backend(self.backend)
+                .pricing(self.pricing)
+                .eta_update(self.eta_update)
                 .warm_cache(&mut cache)
                 .recorder(&self.obs)
                 .solve_with_stats()
@@ -309,6 +317,8 @@ mod tests {
             latency: LatencyModel::default(),
             threads: 0,
             backend: Default::default(),
+            pricing: Default::default(),
+            eta_update: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -375,6 +385,8 @@ mod tests {
             latency: LatencyModel::default(),
             threads: 0,
             backend: Default::default(),
+            pricing: Default::default(),
+            eta_update: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -408,6 +420,8 @@ mod tests {
             latency: LatencyModel::default(),
             threads: 0,
             backend: Default::default(),
+            pricing: Default::default(),
+            eta_update: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };

@@ -1344,6 +1344,8 @@ mod tests {
                         latency: LatencyModel::default(),
                         threads: 0,
                         backend: Default::default(),
+                        pricing: Default::default(),
+                        eta_update: Default::default(),
                         cache: Default::default(),
                         obs: Default::default(),
                     },

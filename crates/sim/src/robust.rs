@@ -380,6 +380,8 @@ impl<'a> RobustController<'a> {
             .method(SolveMethod::Heuristic)
             .threads(inner.threads)
             .backend(inner.backend)
+            .pricing(inner.pricing)
+            .eta_update(inner.eta_update)
             .solve()
             .expect("heuristic solve under the default budget is infallible");
         Self { inner, method, retry, beta, last_known_good, priors, budget_override: None }
@@ -591,6 +593,8 @@ impl<'a> RobustController<'a> {
                     .budget(budget)
                     .threads(self.inner.threads)
                     .backend(self.inner.backend)
+                    .pricing(self.inner.pricing)
+                    .eta_update(self.inner.eta_update)
                     .warm_cache(&mut cache)
                     .recorder(&obs)
                     .solve_with_stats()?;
@@ -816,6 +820,8 @@ mod tests {
             latency: LatencyModel::default(),
             threads: 0,
             backend: Default::default(),
+            pricing: Default::default(),
+            eta_update: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };
@@ -846,6 +852,8 @@ mod tests {
             latency: LatencyModel::default(),
             threads: 0,
             backend: Default::default(),
+            pricing: Default::default(),
+            eta_update: Default::default(),
             cache: Default::default(),
             obs: Default::default(),
         };

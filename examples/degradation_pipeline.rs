@@ -65,6 +65,8 @@ fn main() {
         latency: LatencyModel::default(),
         threads: 0,
         backend: Default::default(),
+        pricing: Default::default(),
+        eta_update: Default::default(),
         cache: Default::default(),
         obs: obs.clone(),
     };

@@ -42,6 +42,8 @@ fn controller_prepares_before_cut_on_b4() {
         latency: LatencyModel::default(),
         threads: 0,
         backend: Default::default(),
+        pricing: Default::default(),
+        eta_update: Default::default(),
         cache: Default::default(),
         obs: Default::default(),
     };

@@ -525,6 +525,8 @@ proptest! {
                 latency: LatencyModel::default(),
                 threads: 0,
                 backend: Default::default(),
+                pricing: Default::default(),
+                eta_update: Default::default(),
                 cache: Default::default(),
                 obs: obs.clone(),
             };
@@ -593,6 +595,8 @@ proptest! {
                     latency: LatencyModel::default(),
                     threads: 0,
                     backend: Default::default(),
+                    pricing: Default::default(),
+                    eta_update: Default::default(),
                     cache: Default::default(),
                     obs: Default::default(),
                 },
@@ -797,5 +801,131 @@ proptest! {
             warm.allocation.iter().zip(&warm2.allocation).all(|(a, b)| a.to_bits() == b.to_bits()),
             "warm replay diverged bitwise"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every pricing/eta-update combination of the sparse engine is
+    /// deterministic in the ways the controller relies on: cold solves
+    /// are bit-identical across 1/2/8 solver threads, warm solves from
+    /// identical cache snapshots are bit-identical across the same
+    /// thread counts, and warm agrees with cold on the optimum within
+    /// LP tolerance. Devex and Forrest–Tomlin must uphold the same
+    /// reproducibility contract the Dantzig/product-form default was
+    /// built on.
+    #[test]
+    fn pricing_eta_combos_are_bit_identical_warm_and_cold_across_threads(
+        n in 4usize..7,
+        chords in prop::collection::vec((0usize..16, 0usize..8), 1..4),
+        seed in 0u64..1000,
+        wobble in prop::collection::vec(0.95f64..1.05, 24),
+        beta in 0.95f64..0.999,
+    ) {
+        use prete_core::prelude::{
+            BasisCache, ColdStart, EtaUpdate, Pricing, SolveMethod, SolverBackend, TeProblem,
+            TeSolver,
+        };
+        use prete_core::scenario::ScenarioSet;
+        use prete_topology::{topologies, TunnelSet};
+
+        let net = random_wan(n, &chords);
+        let base_flows = topologies::flows_for(&net, 0.1, seed);
+        let tunnels = TunnelSet::initialize(&net, &base_flows, 3);
+        let probs: Vec<f64> =
+            (0..net.fibers().len()).map(|i| 0.005 * (1.0 + (i % 5) as f64)).collect();
+        let scenarios = ScenarioSet::enumerate(&probs, 1, 0.0);
+        let mut flows = base_flows.clone();
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.demand_gbps *= wobble[i % wobble.len()];
+        }
+
+        let matrix = [
+            (Pricing::Dantzig, EtaUpdate::ProductForm, ColdStart::TwoPhase),
+            (Pricing::Dantzig, EtaUpdate::ForrestTomlin, ColdStart::Auto),
+            (Pricing::Devex, EtaUpdate::ProductForm, ColdStart::Auto),
+            (Pricing::Devex, EtaUpdate::ForrestTomlin, ColdStart::TwoPhase),
+            (Pricing::Devex, EtaUpdate::ForrestTomlin, ColdStart::Auto),
+        ];
+        for (pricing, eta_update, cold_start) in matrix {
+            // Prime a cache on the base problem under this combo.
+            let mut cache = BasisCache::new();
+            {
+                let problem = TeProblem::new(&net, &base_flows, &tunnels, &scenarios);
+                let _ = TeSolver::new(&problem)
+                    .beta(beta)
+                    .method(SolveMethod::Heuristic)
+                    .backend(SolverBackend::SparseRevised)
+                    .pricing(pricing)
+                    .eta_update(eta_update)
+                    .cold_start(cold_start)
+                    .warm_cache(&mut cache)
+                    .solve()
+                    .expect("solvable");
+            }
+            let snap = cache.snapshot();
+            let problem = TeProblem::new(&net, &flows, &tunnels, &scenarios);
+            let bits = |sol: &prete_core::prelude::TeSolution| {
+                (
+                    sol.allocation.iter().map(|a| a.to_bits()).collect::<Vec<u64>>(),
+                    sol.max_loss.to_bits(),
+                )
+            };
+            let cold_run = |threads: usize| {
+                let sol = TeSolver::new(&problem)
+                    .beta(beta)
+                    .method(SolveMethod::Heuristic)
+                    .backend(SolverBackend::SparseRevised)
+                    .pricing(pricing)
+                    .eta_update(eta_update)
+                    .cold_start(cold_start)
+                    .threads(threads)
+                    .solve()
+                    .expect("solvable");
+                bits(&sol)
+            };
+            let warm_run = |threads: usize| {
+                let mut cache = BasisCache::new();
+                cache.restore(&snap);
+                let (sol, stats) = TeSolver::new(&problem)
+                    .beta(beta)
+                    .method(SolveMethod::Heuristic)
+                    .backend(SolverBackend::SparseRevised)
+                    .pricing(pricing)
+                    .eta_update(eta_update)
+                    .cold_start(cold_start)
+                    .threads(threads)
+                    .warm_cache(&mut cache)
+                    .solve_with_stats()
+                    .expect("solvable");
+                (bits(&sol), stats.warm_hits)
+            };
+            let cold = cold_run(1);
+            let (warm, hits) = warm_run(1);
+            prop_assert!(hits > 0, "{:?}/{:?}: warm re-solve never hit the cache",
+                pricing, eta_update);
+            prop_assert!(
+                (f64::from_bits(warm.1) - f64::from_bits(cold.1)).abs() < 1e-6,
+                "{:?}/{:?}: warm {} vs cold {}",
+                pricing, eta_update, f64::from_bits(warm.1), f64::from_bits(cold.1)
+            );
+            for threads in [2usize, 8] {
+                let cold_t = cold_run(threads);
+                prop_assert_eq!(
+                    &cold.0, &cold_t.0,
+                    "{:?}/{:?}: cold allocations diverge at {} threads",
+                    pricing, eta_update, threads
+                );
+                prop_assert_eq!(cold.1, cold_t.1);
+                let (warm_t, _) = warm_run(threads);
+                prop_assert_eq!(
+                    &warm.0, &warm_t.0,
+                    "{:?}/{:?}: warm allocations diverge at {} threads",
+                    pricing, eta_update, threads
+                );
+                prop_assert_eq!(warm.1, warm_t.1);
+            }
+        }
     }
 }
