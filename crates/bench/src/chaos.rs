@@ -125,6 +125,46 @@ pub fn mixed_tenant_leaves(tenants: usize, flow_frac: f64, seed: u64) -> Vec<Ten
         .collect()
 }
 
+/// Builds one fleet spec per leaf — heuristic method, warm cache,
+/// default retry — borrowing topology, model and flows from `leaves`.
+/// Shared by the fleet soak and the telemetry experiments.
+pub fn tenant_specs(leaves: &[TenantLeaves], checkpoint_every: u64) -> Vec<TenantSpec<'_>> {
+    leaves
+        .iter()
+        .map(|l| {
+            let mut spec = TenantSpec::new(
+                l.name.clone(),
+                move || {
+                    RobustController::new(
+                        Controller {
+                            net: &l.net,
+                            model: &l.model,
+                            flows: &l.flows,
+                            base_tunnels: &l.tunnels,
+                            predictor: &l.predictor,
+                            scheme: &l.scheme,
+                            latency: LatencyModel::default(),
+                            threads: 0,
+                            backend: Default::default(),
+                            pricing: Default::default(),
+                            eta_update: Default::default(),
+                            cache: Default::default(),
+                            obs: Default::default(),
+                        },
+                        SolveMethod::Heuristic,
+                        RetryPolicy::default(),
+                        0.99,
+                    )
+                },
+                ScriptedWorkload::new(l.net.fibers().len()),
+                l.run_seed,
+            );
+            spec.checkpoint_every = checkpoint_every;
+            spec
+        })
+        .collect()
+}
+
 /// Runs one fleet chaos soak over pre-built tenant leaves. Same solver
 /// shape as [`soak_on`] (heuristic method, warm cache, default retry),
 /// one durable controller per tenant.
@@ -134,42 +174,7 @@ pub fn fleet_soak_over(
     cfg: &FleetConfig,
     plan: &FleetChaosPlan,
 ) -> Result<FleetSoakReport, CheckpointError> {
-    let mk_specs = || {
-        leaves
-            .iter()
-            .map(|l| {
-                let mut spec = TenantSpec::new(
-                    l.name.clone(),
-                    move || {
-                        RobustController::new(
-                            Controller {
-                                net: &l.net,
-                                model: &l.model,
-                                flows: &l.flows,
-                                base_tunnels: &l.tunnels,
-                                predictor: &l.predictor,
-                                scheme: &l.scheme,
-                                latency: LatencyModel::default(),
-                                threads: 0,
-                                backend: Default::default(),
-                                pricing: Default::default(),
-                                eta_update: Default::default(),
-                                cache: Default::default(),
-                                obs: Default::default(),
-                            },
-                            SolveMethod::Heuristic,
-                            RetryPolicy::default(),
-                            0.99,
-                        )
-                    },
-                    ScriptedWorkload::new(l.net.fibers().len()),
-                    l.run_seed,
-                );
-                spec.checkpoint_every = checkpoint_every;
-                spec
-            })
-            .collect()
-    };
+    let mk_specs = || tenant_specs(leaves, checkpoint_every);
     fleet_chaos_soak(&mk_specs, cfg, plan)
 }
 

@@ -19,6 +19,7 @@ pub mod measurement;
 pub mod obs;
 pub mod prediction;
 pub mod runtime;
+pub mod telemetry;
 
 /// How much work an experiment should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -321,6 +321,10 @@ pub struct SolverStats {
     /// Cumulative LU fill-in (factor nonzeros beyond basis nonzeros)
     /// in the sparse engine.
     pub fill_in: u64,
+    /// Forrest–Tomlin pivot rollbacks: pivots undone and re-priced
+    /// because the post-pivot refactorization failed (always 0 under
+    /// product-form updates).
+    pub ft_rollbacks: u64,
     /// Sparse solves that hit a singular factorization and were
     /// answered by the dense fallback engine.
     pub dense_fallbacks: usize,
@@ -357,6 +361,7 @@ impl SolverStats {
         self.refactorizations += other.refactorizations;
         self.etas += other.etas;
         self.fill_in += other.fill_in;
+        self.ft_rollbacks += other.ft_rollbacks;
         self.dense_fallbacks += other.dense_fallbacks;
         self.threads = self.threads.max(other.threads);
         // Configuration labels: the accumulator adopts the merged
@@ -365,6 +370,18 @@ impl SolverStats {
         self.pricing = other.pricing;
         self.eta_update = other.eta_update;
         self.cold_start = other.cold_start;
+    }
+
+    /// Total deterministic solver work-units for this solve: the same
+    /// definition the fleet budgets rounds with
+    /// (pivots + lp_solves + mip_nodes + benders_iters +
+    /// rhs_resolves) — never wall clock.
+    pub fn work_units(&self) -> u64 {
+        (self.pivots
+            + self.lp_solves
+            + self.mip_nodes
+            + self.benders_iters
+            + self.rhs_resolves) as u64
     }
 
     /// Fraction of warm-start attempts that hit, in `[0, 1]` (0 when
@@ -380,10 +397,12 @@ impl SolverStats {
 
     /// Publishes this solve's counters and timings into a
     /// [`Recorder`], making the stats part of the run report instead of
-    /// a side-channel. Work units become `solver.*` counters, wall
-    /// times feed `solver.*_ms` histograms (skipped under a
-    /// deterministic clock, whose reports must not carry machine
-    /// timings), and the thread count becomes a gauge.
+    /// a side-channel. Work units become `solver.*` counters. Under a
+    /// live clock, wall times feed `solver.*_ms` histograms and the
+    /// thread count becomes a gauge; under a deterministic clock those
+    /// are machine-dependent and excluded, and *logical-duration*
+    /// histograms (work-unit counts per solve) are recorded instead so
+    /// deterministic reports still carry full percentile tables.
     pub fn publish(&self, rec: &Recorder) {
         if !rec.enabled() {
             return;
@@ -400,6 +419,7 @@ impl SolverStats {
         rec.add("solver.refactorizations", self.refactorizations);
         rec.add("solver.etas", self.etas);
         rec.add("solver.fill_in", self.fill_in);
+        rec.add("solver.ft_rollbacks", self.ft_rollbacks);
         rec.add("solver.dense_fallbacks", self.dense_fallbacks as u64);
         if !rec.is_deterministic() {
             // The thread count is an execution parameter like the wall
@@ -410,6 +430,17 @@ impl SolverStats {
             rec.observe("solver.subproblem_ms", self.subproblem_ms);
             rec.observe("solver.master_ms", self.master_ms);
             rec.observe("solver.polish_ms", self.polish_ms);
+        } else {
+            // Logical durations: per-solve work-unit counts are a pure
+            // function of the work performed, so they are safe in
+            // byte-identical reports and give deterministic runs full
+            // percentile tables (the PR 3 wall-time skip left these
+            // reports without any histograms at all).
+            rec.observe("solver.total_units", self.work_units() as f64);
+            rec.observe("solver.pivot_units", self.pivots as f64);
+            rec.observe("solver.eta_units", self.etas as f64);
+            rec.observe("solver.refactorization_units", self.refactorizations as f64);
+            rec.observe("solver.rhs_resolve_units", self.rhs_resolves as f64);
         }
     }
 }
@@ -432,6 +463,7 @@ impl PartialEq for SolverStats {
             && self.refactorizations == other.refactorizations
             && self.etas == other.etas
             && self.fill_in == other.fill_in
+            && self.ft_rollbacks == other.ft_rollbacks
             && self.dense_fallbacks == other.dense_fallbacks
     }
 }
@@ -605,10 +637,10 @@ impl<'p, 'a, 'c> TeSolver<'p, 'a, 'c> {
         let recorder = self.recorder;
         let span = recorder.span("solve");
         let threads = effective_threads(self.threads);
-        recorder.event_with("solver-backend", || format!("{:?}", self.backend));
-        recorder.event_with("solver-pricing", || format!("{:?}", self.pricing));
-        recorder.event_with("solver-eta-update", || format!("{:?}", self.eta_update));
-        recorder.event_with("solver-cold-start", || format!("{:?}", self.cold_start));
+        recorder.event_with("solver.backend", || format!("{:?}", self.backend));
+        recorder.event_with("solver.pricing", || format!("{:?}", self.pricing));
+        recorder.event_with("solver.eta-update", || format!("{:?}", self.eta_update));
+        recorder.event_with("solver.cold-start", || format!("{:?}", self.cold_start));
         let evictions_before = self.cache.as_ref().map_or(0, |c| c.evictions());
         let mut ctx = SolveCtx {
             problem: self.problem,
@@ -814,14 +846,20 @@ impl SolveCtx<'_, '_, '_> {
     }
 
     /// Folds a solve's engine counters (sparse refactorizations, etas,
-    /// fill-in, dense fallbacks) into the stats.
+    /// fill-in, FT rollbacks, dense fallbacks) into the stats.
     fn absorb_engine(&mut self, sol: &prete_lp::Solution) {
         self.stats.refactorizations += sol.engine.refactorizations;
         self.stats.etas += sol.engine.etas;
         self.stats.fill_in += sol.engine.fill_in;
+        if sol.engine.rollbacks > 0 {
+            self.stats.ft_rollbacks += sol.engine.rollbacks;
+            self.obs.event_with("solver.ft-rollback", || {
+                format!("{} pivot(s) rolled back", sol.engine.rollbacks)
+            });
+        }
         if sol.engine.dense_fallback {
             self.stats.dense_fallbacks += 1;
-            self.obs.event("dense-fallback", "singular sparse factorization");
+            self.obs.event("solver.dense-fallback", "singular sparse factorization");
         }
     }
 
@@ -835,10 +873,10 @@ impl SolveCtx<'_, '_, '_> {
         if self.cache.is_some() {
             if used {
                 self.stats.warm_hits += 1;
-                self.obs.event_with("warm-start", || format!("hit key={key:#x}"));
+                self.obs.event_with("solver.warm-start", || format!("hit key={key:#x}"));
             } else {
                 self.stats.warm_misses += 1;
-                self.obs.event_with("warm-start", || format!("miss key={key:#x}"));
+                self.obs.event_with("solver.warm-start", || format!("miss key={key:#x}"));
             }
         }
         self.stats.lp_solves += 1;
@@ -1154,10 +1192,10 @@ impl SolveCtx<'_, '_, '_> {
                 if self.cache.is_some() {
                     if used {
                         self.stats.warm_hits += 1;
-                        self.obs.event_with("warm-start", || format!("hit key={key:#x}"));
+                        self.obs.event_with("solver.warm-start", || format!("hit key={key:#x}"));
                     } else {
                         self.stats.warm_misses += 1;
-                        self.obs.event_with("warm-start", || format!("miss key={key:#x}"));
+                        self.obs.event_with("solver.warm-start", || format!("miss key={key:#x}"));
                     }
                 }
                 sol
@@ -1196,7 +1234,7 @@ impl SolveCtx<'_, '_, '_> {
                 .collect();
             cuts.push(Cut { constant, weights });
             self.stats.cuts_added += 1;
-            self.obs.event_with("benders-iteration", || {
+            self.obs.event_with("solver.benders-iteration", || {
                 format!("iter={iters} ub={ub:.6} lb={lb:.6} cuts={}", cuts.len())
             });
             if ub - lb <= eps {
@@ -1221,9 +1259,15 @@ impl SolveCtx<'_, '_, '_> {
         self.stats.refactorizations += engine.refactorizations;
         self.stats.etas += engine.etas;
         self.stats.fill_in += engine.fill_in;
+        if engine.rollbacks > 0 {
+            self.stats.ft_rollbacks += engine.rollbacks;
+            self.obs.event_with("solver.ft-rollback", || {
+                format!("{} pivot(s) rolled back in benders loop", engine.rollbacks)
+            });
+        }
         if engine.dense_fallback {
             self.stats.dense_fallbacks += 1;
-            self.obs.event("dense-fallback", "singular sparse factorization in benders loop");
+            self.obs.event("solver.dense-fallback", "singular sparse factorization in benders loop");
         }
         self.stats.benders_iters = iters;
         if let Some(basis) = ws.basis() {
@@ -1589,9 +1633,9 @@ mod tests {
         assert_eq!(r.counters["solver.warm_hits"], (stats.warm_hits + s2.warm_hits) as u64);
         // Events fired for Benders iterations, and warm starts once the
         // cache was primed.
-        assert!(!r.events_of_kind("benders-iteration").is_empty());
+        assert!(!r.events_of_kind("solver.benders-iteration").is_empty());
         assert_eq!(
-            r.events_of_kind("warm-start").len(),
+            r.events_of_kind("solver.warm-start").len(),
             (stats.warm_hits + stats.warm_misses + s2.warm_hits + s2.warm_misses),
         );
         // Deterministic reports carry no machine wall times.
@@ -1704,6 +1748,7 @@ mod tests {
             refactorizations: 11,
             etas: 57,
             fill_in: 204,
+            ft_rollbacks: 2,
             dense_fallbacks: 1,
             threads: 8,
             pricing: Pricing::Devex,
@@ -1728,6 +1773,7 @@ mod tests {
             r#""refactorizations":11"#,
             r#""etas":57"#,
             r#""fill_in":204"#,
+            r#""ft_rollbacks":2"#,
             r#""dense_fallbacks":1"#,
             r#""threads":8"#,
             r#""pricing":"Devex""#,

@@ -197,6 +197,11 @@ pub struct EngineStats {
     /// Cumulative LU fill-in (factor nonzeros beyond the basis
     /// nonzeros) across all factorizations.
     pub fill_in: u64,
+    /// Forrest–Tomlin pivot rollbacks: pivots undone because the
+    /// post-pivot refactorization failed, forcing the engine to
+    /// restore the previous basis and re-pivot. Always zero under
+    /// product-form updates.
+    pub rollbacks: u64,
     /// Whether a sparse solve failed factorization and the dense
     /// engine produced this solution instead.
     pub dense_fallback: bool,
@@ -378,6 +383,7 @@ impl WarmSimplex {
             self.retired_engine.refactorizations += st.refactorizations;
             self.retired_engine.etas += st.etas;
             self.retired_engine.fill_in += st.fill_in;
+            self.retired_engine.rollbacks += st.rollbacks;
             self.retired_engine.dense_fallback = true;
         }
     }
@@ -520,6 +526,7 @@ impl WarmSimplex {
             st.refactorizations += live.refactorizations;
             st.etas += live.etas;
             st.fill_in += live.fill_in;
+            st.rollbacks += live.rollbacks;
         }
         st
     }

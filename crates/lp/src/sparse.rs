@@ -134,6 +134,7 @@ struct SparseCore {
     refactorizations: u64,
     etas_total: u64,
     fill_total: u64,
+    rollbacks: u64,
 }
 
 impl SparseCore {
@@ -333,6 +334,7 @@ impl SparseCore {
             refactorizations: 0,
             etas_total: 0,
             fill_total: 0,
+            rollbacks: 0,
         }
     }
 
@@ -1060,6 +1062,7 @@ impl SparseCore {
                     if above {
                         self.at_upper[leaving] = false;
                     }
+                    self.rollbacks += 1;
                     self.refactorize()?;
                     d_valid = false;
                     continue;
@@ -1344,6 +1347,7 @@ impl SparseCore {
             refactorizations: self.refactorizations,
             etas: self.etas_total,
             fill_in: self.fill_total,
+            rollbacks: self.rollbacks,
             dense_fallback: false,
         }
     }

@@ -46,13 +46,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod clock;
+pub mod export;
 pub mod metrics;
 pub mod report;
+pub mod slo;
+pub mod timeseries;
 
+pub use anomaly::{AnomalyConfig, AnomalyEvent, AnomalyKind, SolverAnomalyDetector, SolverSample};
 pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use export::{TelemetrySnapshot, TenantTelemetry};
 pub use metrics::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_MS};
 pub use report::{Event, RunReport, SpanNode, StageRow};
+pub use slo::{SloAlert, SloKind, SloObservation, SloSpec, SloStatusReport, SloTracker};
+pub use timeseries::{
+    NamedSeriesSnapshot, SeriesConfig, SeriesPoint, SeriesSet, SeriesSnapshot, TimeSeries,
+    WindowAgg, WindowSnapshot,
+};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

@@ -565,7 +565,7 @@ impl<'a, S: Store> DurableController<'a, S> {
 
         lifecycle.annotate("recovered_from", &base.to_string());
         lifecycle.annotate("resumed_at", &resume_to.to_string());
-        lifecycle.event_with("recovered", || {
+        lifecycle.event_with("fleet.recovered", || {
             format!(
                 "from={base} resumed_at={resume_to} reexecuted={} dropped={dropped_records} \
                  repaired={repaired_records} checkpoint_rejected={checkpoint_rejected}",
@@ -668,7 +668,7 @@ impl<'a, S: Store> DurableController<'a, S> {
         .seal()?;
         self.store.save_checkpoint(&encode(&checkpoint)?)?;
         let epoch = self.epoch;
-        self.lifecycle.event_with("checkpoint-written", || format!("epoch={epoch}"));
+        self.lifecycle.event_with("fleet.checkpoint-written", || format!("epoch={epoch}"));
         Ok(())
     }
 }

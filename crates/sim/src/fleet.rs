@@ -46,6 +46,10 @@ use crate::checkpoint::{
 use crate::faults::PlanError;
 use crate::robust::RobustController;
 use prete_core::prelude::{Recorder, RunReport, SolveBudget, SolverStats};
+use prete_obs::{
+    AnomalyConfig, AnomalyEvent, SeriesConfig, SeriesSet, SloAlert, SloObservation, SloSpec,
+    SloTracker, SolverAnomalyDetector, SolverSample, TelemetrySnapshot, TenantTelemetry,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -55,11 +59,7 @@ use serde::{Deserialize, Serialize};
 /// of the fleet's admission budget — identical across thread counts,
 /// backends with the same pivot sequence, and replays.
 pub fn work_units(stats: &SolverStats) -> u64 {
-    stats.pivots as u64
-        + stats.lp_solves as u64
-        + stats.mip_nodes as u64
-        + stats.benders_iters as u64
-        + stats.rhs_resolves as u64
+    stats.work_units()
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -95,6 +95,12 @@ pub struct TenantSpec<'a> {
     pub run_seed: u64,
     /// Checkpoint cadence (0 = journal only).
     pub checkpoint_every: u64,
+    /// Optional SLO declaration. When set, the fleet attaches a
+    /// burn-rate tracker: violations feed `slo.alert` events and a
+    /// tenant under availability pressure is sheltered by admission
+    /// (deferred instead of degraded in phase one). `None` leaves
+    /// admission behavior byte-identical to a fleet without SLOs.
+    pub slo: Option<SloSpec>,
 }
 
 impl<'a> TenantSpec<'a> {
@@ -111,7 +117,14 @@ impl<'a> TenantSpec<'a> {
             workload: Box::new(workload),
             run_seed,
             checkpoint_every: 5,
+            slo: None,
         }
+    }
+
+    /// Declares this tenant's SLO (see [`TenantSpec::slo`]).
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
     }
 
     fn durable_config(&self) -> DurableConfig {
@@ -277,6 +290,17 @@ struct Tenant<'a> {
     /// crashes fell.
     fp_digest: u64,
     fp_next: u64,
+    /// Per-tenant telemetry series (work units, availability loss,
+    /// decision latency…), fed once per first-fold epoch.
+    series: SeriesSet,
+    /// Burn-rate tracker, present iff the spec declared an SLO.
+    slo: Option<SloTracker>,
+    /// Solver anomaly detector over the tenant's stats stream.
+    anomaly: SolverAnomalyDetector,
+    /// SLO alerts fired over the run, chronological.
+    alerts: Vec<SloAlert>,
+    /// Solver anomalies fired over the run, chronological.
+    anomalies: Vec<AnomalyEvent>,
 }
 
 impl<'a> Tenant<'a> {
@@ -296,14 +320,108 @@ impl<'a> Tenant<'a> {
         !matches!(self.state, TenantState::Quarantined { .. })
     }
 
-    fn fold_outcome(&mut self, out: &EpochOutcome) -> Result<(), CheckpointError> {
+    fn fold_outcome(&mut self, out: &EpochOutcome, obs: &Recorder) -> Result<(), CheckpointError> {
         self.executions += 1;
         if out.record.epoch == self.fp_next {
             let (a, b) = out.fingerprint()?;
             self.fp_digest = fnv_fold(fnv_fold(self.fp_digest, a.as_bytes()), b.as_bytes());
             self.fp_next += 1;
+            self.observe_telemetry(out, obs);
         }
         Ok(())
+    }
+
+    /// Feeds one epoch outcome into the tenant's telemetry: series,
+    /// SLO burn tracking, and solver anomaly detection. Called only on
+    /// first-fold epochs (recovery re-executions of already-folded
+    /// epochs never reach here), so every epoch is observed exactly
+    /// once regardless of where crashes fell — the telemetry stream is
+    /// as bit-reproducible as the fingerprint digest.
+    fn observe_telemetry(&mut self, out: &EpochOutcome, obs: &Recorder) {
+        let epoch = out.record.epoch;
+        let stats = &out.report.solver;
+        let decision_ms =
+            out.report.pipeline.as_ref().map(|p| p.decision_ms()).unwrap_or(0.0);
+        self.series.record("solve.work_units", epoch, stats.work_units() as f64);
+        self.series.record("solve.pivots", epoch, stats.pivots as f64);
+        self.series.record("availability.loss", epoch, out.report.policy_max_loss);
+        self.series.record("pipeline.decision_ms", epoch, decision_ms);
+        self.series.record("warm.hit_rate", epoch, stats.warm_hit_rate());
+
+        let sample = SolverSample {
+            pivots: stats.pivots as u64,
+            etas: stats.etas,
+            refactorizations: stats.refactorizations,
+            dense_fallbacks: stats.dense_fallbacks as u64,
+            ft_rollbacks: stats.ft_rollbacks,
+            warm_hits: stats.warm_hits as u64,
+            warm_misses: stats.warm_misses as u64,
+        };
+        for ev in self.anomaly.observe(&self.spec.name, epoch, &sample) {
+            obs.add("solver.anomalies", 1);
+            obs.event_with("solver.anomaly", || {
+                format!(
+                    "tenant={} epoch={} stat={} kind={} value={} baseline={}",
+                    ev.tenant,
+                    ev.epoch,
+                    ev.stat,
+                    ev.kind.as_str(),
+                    ev.value,
+                    ev.baseline
+                )
+            });
+            self.anomalies.push(ev);
+        }
+
+        if let Some(tracker) = &mut self.slo {
+            let o = SloObservation {
+                epoch,
+                policy_max_loss: out.report.policy_max_loss,
+                solve_work_units: stats.work_units(),
+                decision_ms,
+            };
+            for alert in tracker.observe_epoch(&self.spec.name, &o) {
+                obs.add("slo.alerts", 1);
+                obs.event_with("slo.alert", || {
+                    format!(
+                        "tenant={} epoch={} kind={} burn_rate={:.3}",
+                        alert.tenant,
+                        alert.epoch,
+                        alert.kind.as_str(),
+                        alert.burn_rate
+                    )
+                });
+                self.alerts.push(alert);
+            }
+        }
+    }
+
+    /// Scores one round's admission decision against the shed budget
+    /// (anything but a full admit counts as shed). Called exactly once
+    /// per tenant per round, at phase-one decision time — a deferred
+    /// tenant's phase-two resolution never double-counts the round.
+    fn observe_shed(&mut self, decision: ShedDecision, round: u64, obs: &Recorder) {
+        let Some(tracker) = &mut self.slo else { return };
+        let shed = decision != ShedDecision::Admit;
+        if let Some(alert) = tracker.observe_shed(&self.spec.name, round, shed) {
+            obs.add("slo.alerts", 1);
+            obs.event_with("slo.alert", || {
+                format!(
+                    "tenant={} round={} kind={} burn_rate={:.3}",
+                    alert.tenant,
+                    alert.epoch,
+                    alert.kind.as_str(),
+                    alert.burn_rate
+                )
+            });
+            self.alerts.push(alert);
+        }
+    }
+
+    /// Whether admission should shelter this tenant: its availability
+    /// error budget is burning at or above the sustainable rate.
+    fn protected(&self) -> bool {
+        self.slo.as_ref().is_some_and(|t| t.pressure())
     }
 
     /// Recovers a crashed tenant (or confirms a running one). Counts a
@@ -336,7 +454,7 @@ impl<'a> Tenant<'a> {
                             self.recoveries += 1;
                             self.consecutive_failures = 0;
                             obs.add("fleet.recoveries", 1);
-                            obs.event_with("tenant-recovered", || {
+                            obs.event_with("fleet.recovered", || {
                                 format!(
                                     "tenant={} resumed_at={} reexecuted={}",
                                     self.spec.name,
@@ -346,7 +464,7 @@ impl<'a> Tenant<'a> {
                             });
                             let outcomes = rec.reexecuted;
                             for out in &outcomes {
-                                self.fold_outcome(out)?;
+                                self.fold_outcome(out, obs)?;
                             }
                             self.state = TenantState::Running(Box::new(ctl));
                             return Ok(outcomes);
@@ -356,7 +474,7 @@ impl<'a> Tenant<'a> {
                             obs.add("fleet.failures", 1);
                             if self.consecutive_failures >= cfg.max_consecutive_failures {
                                 obs.add("fleet.quarantined", 1);
-                                obs.event_with("tenant-quarantined", || {
+                                obs.event_with("fleet.quarantined", || {
                                     format!("tenant={} reason={e}", self.spec.name)
                                 });
                                 self.state =
@@ -395,13 +513,13 @@ impl<'a> Tenant<'a> {
         match result {
             Ok(out) => {
                 let cost = work_units(&out.report.solver);
-                self.fold_outcome(&out)?;
+                self.fold_outcome(&out, obs)?;
                 let allowed = cfg.watchdog_factor * self.estimate as f64;
                 let tripped = !degraded && (cost as f64) > allowed;
                 if tripped {
                     self.watchdog_trips += 1;
                     obs.add("fleet.watchdog_trips", 1);
-                    obs.event_with("watchdog-tripped", || {
+                    obs.event_with("fleet.watchdog-trip", || {
                         format!("tenant={} cost={cost} allowed={allowed}", self.spec.name)
                     });
                 }
@@ -418,7 +536,7 @@ impl<'a> Tenant<'a> {
                 // failure toward quarantine).
                 self.consecutive_failures += 1;
                 obs.add("fleet.failures", 1);
-                obs.event_with("tenant-epoch-failed", || {
+                obs.event_with("fleet.epoch-failed", || {
                     format!("tenant={} error={e}", self.spec.name)
                 });
                 let state = std::mem::replace(
@@ -488,8 +606,13 @@ pub struct FleetReport {
     /// Total recoveries across the fleet.
     pub recoveries: u64,
     /// The fleet recorder's deterministic report (round and tenant
-    /// spans under one logical clock, `fleet.*` counters).
+    /// spans under one logical clock, `fleet.*` / `slo.*` /
+    /// `solver.*` counters and events).
     pub run: RunReport,
+    /// The streaming-telemetry snapshot: per-tenant series, SLO
+    /// status, fired alerts and solver anomalies, plus the
+    /// order-independent fleet-wide series merge.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl FleetReport {
@@ -545,11 +668,21 @@ impl<'a> Fleet<'a> {
         let obs = Recorder::deterministic();
         let mut tenants = Vec::with_capacity(specs.len());
         for spec in specs {
+            if let Some(slo) = &spec.slo {
+                slo.validate().map_err(|_| {
+                    CheckpointError::InvalidPlan(PlanError::OutOfDomain {
+                        field: "tenant.slo",
+                        value: slo.error_budget,
+                        requirement: "a valid SloSpec (see SloSpec::validate)",
+                    })
+                })?;
+            }
             let mut robust = (spec.build)();
             robust.inner.threads = cfg.solver_threads;
             let w: &dyn EpochWorkload = spec.workload.as_ref();
             let (ctl, _) =
                 DurableController::recover(robust, MemStore::default(), spec.durable_config(), &w)?;
+            let slo = spec.slo.clone().map(SloTracker::new);
             tenants.push(Tenant {
                 spec,
                 state: TenantState::Running(Box::new(ctl)),
@@ -562,6 +695,11 @@ impl<'a> Fleet<'a> {
                 watchdog_trips: 0,
                 fp_digest: FNV_OFFSET,
                 fp_next: 0,
+                series: SeriesSet::new(SeriesConfig::default()),
+                slo,
+                anomaly: SolverAnomalyDetector::new(AnomalyConfig::default()),
+                alerts: Vec::new(),
+                anomalies: Vec::new(),
             });
         }
         Ok(Self { cfg, tenants, obs, round: 0, shed_log: Vec::new(), watchdog_log: Vec::new() })
@@ -608,7 +746,7 @@ impl<'a> Fleet<'a> {
         let mut store = ctl.into_store();
         damage(&mut store);
         t.state = TenantState::Crashed(store);
-        self.obs.event_with("chaos-crash", || format!("tenant={}", t.spec.name));
+        self.obs.event_with("fleet.chaos-crash", || format!("tenant={}", t.spec.name));
         true
     }
 
@@ -668,6 +806,14 @@ impl<'a> Fleet<'a> {
                 ShedDecision::Degrade
             } else if reserved.saturating_add(est) <= budget {
                 ShedDecision::Admit
+            } else if tenant.protected() {
+                // Budget-aware shedding: a tenant burning its
+                // availability error budget is not pushed into the
+                // degraded ladder; it defers to phase two, where the
+                // actual leftover (admitted epochs often undershoot
+                // their estimates) may admit it at full budget.
+                obs.add("fleet.shed.protect", 1);
+                ShedDecision::Defer
             } else if reserved.saturating_add(degraded_cost) <= budget {
                 ShedDecision::Degrade
             } else {
@@ -682,6 +828,13 @@ impl<'a> Fleet<'a> {
                 estimate: est,
                 remaining,
             };
+            obs.event_with("fleet.shed", || {
+                format!(
+                    "tenant={} round={round} decision={decision:?} estimate={est} remaining={remaining}",
+                    rec.name
+                )
+            });
+            tenant.observe_shed(decision, round, obs);
             shed_log.push(rec.clone());
             out.decisions.push(rec);
             match decision {
@@ -746,6 +899,14 @@ impl<'a> Fleet<'a> {
                 estimate: est,
                 remaining,
             };
+            // The phase-one Defer already fed the shed-budget tracker
+            // for this round; only the event is emitted here.
+            obs.event_with("fleet.shed", || {
+                format!(
+                    "tenant={} round={round} decision={decision:?} estimate={est} remaining={remaining}",
+                    rec.name
+                )
+            });
             shed_log.push(rec.clone());
             out.decisions.push(rec);
             match decision {
@@ -826,6 +987,26 @@ impl<'a> Fleet<'a> {
             acc.rejected += t.shed.rejected;
             acc
         });
+        let mut fleet_series = SeriesSet::new(SeriesConfig::default());
+        let mut telemetry_tenants: Vec<TenantTelemetry> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                fleet_series.merge(&t.series);
+                TenantTelemetry {
+                    tenant: t.spec.name.clone(),
+                    series: t.series.snapshot(),
+                    slo: t.slo.as_ref().map(|s| s.status()),
+                    alerts: t.alerts.clone(),
+                    anomalies: t.anomalies.clone(),
+                }
+            })
+            .collect();
+        telemetry_tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let telemetry = TelemetrySnapshot {
+            tenants: telemetry_tenants,
+            fleet: fleet_series.snapshot(),
+        };
         FleetReport {
             rounds: self.round,
             quarantined: tenants.iter().filter(|t| t.quarantined.is_some()).count(),
@@ -835,6 +1016,7 @@ impl<'a> Fleet<'a> {
             watchdog_trips: self.watchdog_log.clone(),
             shed,
             run: self.obs.report(),
+            telemetry,
         }
     }
 }
@@ -1063,6 +1245,16 @@ fn fleet_soak_with_schedule<'a>(
         watchdog_factor: f64::INFINITY,
         ..*base_cfg
     };
+    // Every soak tenant gets at least a fully lenient SLO: no kind can
+    // ever violate on a healthy stream, so any alert fired during the
+    // soak is spurious by construction (checked below).
+    let specs: Vec<TenantSpec<'a>> = specs
+        .into_iter()
+        .map(|mut s| {
+            s.slo.get_or_insert_with(SloSpec::default);
+            s
+        })
+        .collect();
     let n = specs.len();
     let mut fleet = Fleet::new(specs, cfg)?;
     let mut schedule: Vec<Vec<Option<FleetChaosEvent>>> = schedule.to_vec();
@@ -1166,6 +1358,34 @@ fn fleet_soak_with_schedule<'a>(
                 event: None,
                 invariant: "span-tree".into(),
                 detail: format!("fleet report: {e}"),
+            });
+        }
+    }
+    // Spurious alerts: under the lenient soak SLOs, recoverable chaos
+    // must never fire a burn-rate alert — telemetry is fed exactly
+    // once per epoch, so crash/recover cycles cannot double-count
+    // violations into a window.
+    if violation.is_none() {
+        if let Some((i, t)) = report
+            .telemetry
+            .tenants
+            .iter()
+            .enumerate()
+            .find(|(_, t)| !t.alerts.is_empty())
+        {
+            let a = &t.alerts[0];
+            violation = Some(FleetViolation {
+                tenant: i,
+                name: t.tenant.clone(),
+                epoch: a.epoch,
+                event: None,
+                invariant: "spurious-alert".into(),
+                detail: format!(
+                    "lenient SLO fired {} alert(s); first: kind={} burn_rate={}",
+                    t.alerts.len(),
+                    a.kind.as_str(),
+                    a.burn_rate
+                ),
             });
         }
     }
@@ -1319,10 +1539,17 @@ mod tests {
     }
 
     fn leaves(seed: u64) -> Leaves {
+        leaves_with_demand(seed, 4.0)
+    }
+
+    /// Like [`leaves`], with a custom per-flow demand. Demands past
+    /// the triangle's protected capacity leave `policy_max_loss > 0`,
+    /// which availability-SLO tests rely on.
+    fn leaves_with_demand(seed: u64, demand_gbps: f64) -> Leaves {
         let net = triangle();
         let model = FailureModel::new(&net, seed);
         let flows: Vec<Flow> =
-            triangle_flows().into_iter().map(|f| Flow { demand_gbps: 4.0, ..f }).collect();
+            triangle_flows().into_iter().map(|f| Flow { demand_gbps, ..f }).collect();
         let base = TunnelSet::initialize(&net, &flows, 1);
         let truth = TrueConditionals::ground_truth(&net, &model, 50, 1);
         let scheme = PreTeScheme::new(0.99, ProbabilityEstimator::prete(&model, &truth));
@@ -1639,6 +1866,155 @@ mod tests {
         assert_eq!(shrunk.event, None);
         assert_eq!(shrunk.tenant, 1);
         assert_eq!(shrunk.invariant, "bit-identity");
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_deterministic_and_merges_fleet_wide() {
+        let epochs = 4u64;
+        let run = |threads: usize| {
+            let la = leaves(42);
+            let lb = leaves(43);
+            // Tenant b declares an impossible solve-work target: every
+            // epoch violates, burn = (1/1)/0.5 = 2.0 hits the
+            // threshold on the first observation.
+            let strict = SloSpec {
+                solve_units_target: 0,
+                error_budget: 0.5,
+                window: 4,
+                ..SloSpec::default()
+            };
+            let mut fleet = Fleet::new(
+                vec![
+                    spec_over(&la, "a", 7),
+                    spec_over(&lb, "b", 8).with_slo(strict),
+                ],
+                FleetConfig { solver_threads: threads, ..FleetConfig::default() },
+            )
+            .unwrap();
+            while (0..2).any(|i| fleet.tenant_epoch(i) < epochs) {
+                fleet.run_round(Some(epochs)).unwrap();
+            }
+            fleet.report()
+        };
+        let report = run(1);
+
+        // Per-tenant series landed, sorted by tenant name.
+        let names: Vec<&str> =
+            report.telemetry.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        for t in &report.telemetry.tenants {
+            let series: Vec<&str> = t.series.iter().map(|s| s.name.as_str()).collect();
+            for want in
+                ["availability.loss", "pipeline.decision_ms", "solve.pivots", "solve.work_units", "warm.hit_rate"]
+            {
+                assert!(series.contains(&want), "{} missing {want}: {series:?}", t.tenant);
+            }
+        }
+
+        // The strict SLO fired: tracker status, alert log, run report.
+        assert_eq!(report.telemetry.tenants[0].slo, None);
+        let b = &report.telemetry.tenants[1];
+        let status = b.slo.as_ref().expect("tenant b declared an SLO");
+        assert!(status.alerts_fired() >= 1, "{status:?}");
+        assert!(!b.alerts.is_empty());
+        assert!(matches!(b.alerts[0].kind, prete_obs::SloKind::SolveWork));
+        assert!(report.run.counters["slo.alerts"] >= 1);
+        assert!(!report.run.events_of_kind("slo.alert").is_empty());
+
+        // Fleet-wide series are the merge of both tenants' streams.
+        let fleet_wu = report
+            .telemetry
+            .fleet
+            .iter()
+            .find(|s| s.name == "solve.work_units")
+            .expect("merged work-unit series");
+        let tenant_points: usize = report
+            .telemetry
+            .tenants
+            .iter()
+            .map(|t| {
+                t.series
+                    .iter()
+                    .find(|s| s.name == "solve.work_units")
+                    .map_or(0, |s| s.series.points.len())
+            })
+            .sum();
+        assert_eq!(fleet_wu.series.points.len(), tenant_points);
+        assert_eq!(tenant_points as u64, 2 * epochs);
+
+        // Byte-identical telemetry across thread counts.
+        let again = serde_json::to_string(&run(2).telemetry).unwrap();
+        assert_eq!(serde_json::to_string(&report.telemetry).unwrap(), again);
+    }
+
+    #[test]
+    fn availability_pressure_defers_instead_of_degrading() {
+        // One over-subscribed tenant (policy_max_loss = 0.875, so
+        // availability 0.125 sits far below the 0.5 floor) under a
+        // budget its estimate never fits: phase one must Degrade it
+        // while its SLO is quiet, and Defer it once the availability
+        // budget burns.
+        let slo = SloSpec {
+            availability_floor: 0.5,
+            error_budget: 0.5,
+            window: 8,
+            ..SloSpec::default()
+        };
+        let run = |threads: usize, with_slo: bool| {
+            let la = leaves_with_demand(42, 40.0);
+            let mut spec = spec_over(&la, "a", 7);
+            if with_slo {
+                spec = spec.with_slo(slo.clone());
+            }
+            let cfg = FleetConfig {
+                round_budget: 20,
+                initial_estimate: 50,
+                solver_threads: threads,
+                ..FleetConfig::default()
+            };
+            let mut fleet = Fleet::new(vec![spec], cfg).unwrap();
+            fleet.run(4).unwrap();
+            fleet.report()
+        };
+
+        let protected = run(1, true);
+        // Pressure engaged at least once after the first epoch burned.
+        assert!(
+            protected.run.counters.get("fleet.shed.protect").copied().unwrap_or(0) >= 1,
+            "protection never fired: {:?}",
+            protected.run.counters
+        );
+        // The availability alert latched and surfaced everywhere.
+        let t = &protected.telemetry.tenants[0];
+        assert!(t.alerts.iter().any(|a| matches!(a.kind, prete_obs::SloKind::Availability)));
+        assert!(protected.run.counters["slo.alerts"] >= 1);
+        // Protection changed admission: the no-SLO twin makes
+        // different decisions (phase-one Degrade instead of Defer).
+        let plain = run(1, false);
+        assert_ne!(protected.decision_digest(), plain.decision_digest());
+        assert!(!plain.run.counters.contains_key("fleet.shed.protect"));
+        // And the protected run is still thread-count deterministic.
+        assert_eq!(protected.decision_digest(), run(2, true).decision_digest());
+    }
+
+    #[test]
+    fn lenient_slo_and_detectors_stay_silent_on_clean_runs() {
+        let la = leaves(42);
+        let mut fleet = Fleet::new(
+            vec![spec_over(&la, "a", 7).with_slo(SloSpec::default())],
+            FleetConfig::default(),
+        )
+        .unwrap();
+        fleet.run(6).unwrap();
+        let report = fleet.report();
+        let t = &report.telemetry.tenants[0];
+        assert!(t.alerts.is_empty(), "spurious SLO alerts: {:?}", t.alerts);
+        assert!(t.anomalies.is_empty(), "spurious anomalies: {:?}", t.anomalies);
+        assert!(!report.run.counters.contains_key("slo.alerts"));
+        assert!(!report.run.counters.contains_key("solver.anomalies"));
+        // The tracker still observed every epoch.
+        let status = t.slo.as_ref().unwrap();
+        assert!(status.kinds.iter().all(|k| k.burn_rate == 0.0), "{status:?}");
     }
 
     #[test]

@@ -929,3 +929,58 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Telemetry rollups are a pure function of the observed multiset:
+    /// partitioning a point stream into shards (one per tenant thread)
+    /// and merging them in *any* order yields a snapshot byte-identical
+    /// to recording every point sequentially into one series — even
+    /// when capacity eviction and window pruning both kick in.
+    #[test]
+    fn timeseries_merge_is_order_independent_and_matches_sequential(
+        points in prop::collection::vec((0u64..64, -50.0f64..50.0), 1..60),
+        shards in prop::collection::vec(0usize..4, 60),
+        order_keys in prop::collection::vec(0u64..1_000_000, 4),
+    ) {
+        use prete_obs::{SeriesConfig, TimeSeries};
+
+        // Small retention limits so eviction paths are actually hit.
+        let cfg = SeriesConfig {
+            capacity: 16,
+            level_widths: vec![1, 4],
+            windows_per_level: 4,
+        };
+        cfg.validate().unwrap();
+
+        let mut sequential = TimeSeries::new(cfg.clone());
+        let mut shard_series: Vec<TimeSeries> =
+            (0..4).map(|_| TimeSeries::new(cfg.clone())).collect();
+        for (i, &(epoch, value)) in points.iter().enumerate() {
+            sequential.record(epoch, value);
+            shard_series[shards[i]].record(epoch, value);
+        }
+        let expected = serde_json::to_string(&sequential.snapshot()).unwrap();
+
+        // Two arbitrary merge orders: an argsort of random keys and
+        // its reverse. Both must reproduce the sequential bytes.
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by_key(|&i| (order_keys[i], i));
+        for forward in [true, false] {
+            let mut merged = TimeSeries::new(cfg.clone());
+            let iter: Vec<usize> = if forward {
+                order.clone()
+            } else {
+                order.iter().rev().copied().collect()
+            };
+            for idx in iter {
+                merged.merge(&shard_series[idx]);
+            }
+            let got = serde_json::to_string(&merged.snapshot()).unwrap();
+            prop_assert_eq!(
+                &got, &expected,
+                "merge order {:?} (forward={}) diverged from sequential",
+                order, forward
+            );
+        }
+    }
+}
